@@ -1,0 +1,125 @@
+// Experiment T5 (Theorem 6): the lateness crossover. A topology-aware DoS
+// adversary disconnects the static overlay even with modest budgets, and
+// silences groups of the reconfiguring overlay when it is 0-late; once its
+// information is ~2t rounds old (t = epoch length), reconfiguration makes
+// its targeting worthless.
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/dos.hpp"
+#include "bench/common.hpp"
+#include "dos/overlay.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace reconfnet;
+
+dos::DosOverlay::Config make_config(std::uint64_t seed) {
+  dos::DosOverlay::Config config;
+  config.size = 1024;
+  config.group_c = 2.0;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace reconfnet;
+  bench::banner(
+      "T5: DoS survival vs adversary lateness (Theorem 6)",
+      "Claim: a (1/2-eps)-bounded adversary with Omega(log log n)-late "
+      "topology information cannot disconnect the reconfiguring overlay; "
+      "fresher information (or a static overlay) breaks it.");
+
+  constexpr double kBlockedFraction = 0.35;
+  constexpr int kEpochs = 4;
+
+  struct Strategy {
+    std::string name;
+    std::function<std::unique_ptr<adversary::DosAdversary>(support::Rng)>
+        make;
+  };
+  const std::vector<Strategy> strategies{
+      {"isolation",
+       [](support::Rng rng) {
+         return std::make_unique<adversary::IsolationDos>(rng);
+       }},
+      {"group-wipe",
+       [](support::Rng rng) {
+         return std::make_unique<adversary::GroupWipeDos>(rng);
+       }},
+      {"random",
+       [](support::Rng rng) {
+         return std::make_unique<adversary::RandomDos>(rng);
+       }},
+  };
+
+  support::Table table({"adversary", "lateness", "epochs_ok",
+                        "silenced_grp_rounds", "disconnected_rounds",
+                        "min_avail"});
+  std::uint64_t seed = bench::kBenchSeed + 6;
+  for (const auto& strategy : strategies) {
+    for (const int lateness : {0, 8, 16, 32, 64}) {
+      dos::DosOverlay overlay(make_config(seed));
+      auto adversary = strategy.make(support::Rng(seed + 1));
+      dos::DosOverlay::Attack attack;
+      attack.adversary = adversary.get();
+      attack.lateness = lateness;
+      attack.blocked_fraction = kBlockedFraction;
+      int ok = 0;
+      std::size_t silenced = 0;
+      std::size_t disconnected = 0;
+      double min_avail = 1.0;
+      for (int epoch = 0; epoch < kEpochs; ++epoch) {
+        const auto report = overlay.run_epoch(attack);
+        ok += report.success ? 1 : 0;
+        silenced += report.silenced_group_rounds;
+        disconnected += report.disconnected_rounds;
+        min_avail = std::min(min_avail, report.min_available_fraction);
+      }
+      table.add_row(
+          {strategy.name, support::Table::num(lateness),
+           support::Table::num(ok) + "/" + support::Table::num(kEpochs),
+           support::Table::num(static_cast<std::uint64_t>(silenced)),
+           support::Table::num(static_cast<std::uint64_t>(disconnected)),
+           support::Table::num(min_avail, 3)});
+      seed += 10;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nBaseline: static overlay (no reconfiguration), isolation "
+               "adversary, 80 rounds (long enough for even a 64-late view "
+               "to become available):\n\n";
+  support::Table baseline({"lateness", "disconnected_rounds", "survived"});
+  for (const int lateness : {0, 64}) {
+    dos::DosOverlay overlay(make_config(seed));
+    support::Rng rng(seed + 1);
+    adversary::IsolationDos adversary(rng);
+    dos::DosOverlay::Attack attack;
+    attack.adversary = &adversary;
+    attack.lateness = lateness;
+    attack.blocked_fraction = kBlockedFraction;
+    const auto report = overlay.run_static(attack, 80);
+    baseline.add_row({support::Table::num(lateness),
+                      support::Table::num(static_cast<std::uint64_t>(
+                          report.disconnected_rounds)),
+                      report.success ? "yes" : "NO"});
+    seed += 10;
+  }
+  baseline.print(std::cout);
+  bench::interpretation(
+      "Crossover: at lateness 0 the targeted strategies silence groups and "
+      "disconnect non-blocked nodes; from roughly 2t (= 32 rounds here, two "
+      "epoch lengths) onward every epoch succeeds — matching Theorem 6's "
+      "Omega(log log n)-lateness requirement. The static overlay falls to "
+      "the isolation attack at ANY lateness, because its topology never "
+      "changes and stale information stays accurate forever.");
+  return EXIT_SUCCESS;
+}

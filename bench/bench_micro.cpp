@@ -1,0 +1,103 @@
+// Experiment M1: micro-benchmarks of the substrate primitives, via
+// google-benchmark. These are throughput numbers, not paper claims; they
+// document where the simulator's time goes.
+#include <benchmark/benchmark.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/hgraph.hpp"
+#include "graph/hypercube.hpp"
+#include "graph/spectral.hpp"
+#include "dos/group_table.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace reconfnet;
+
+void BM_RngBelow(benchmark::State& state) {
+  support::Rng rng(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += rng.below(1000);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_RngPermutation(benchmark::State& state) {
+  support::Rng rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.permutation(n));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RngPermutation)->Arg(1024)->Arg(8192);
+
+void BM_HGraphConstruction(benchmark::State& state) {
+  support::Rng rng(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::HGraph::random(n, 8, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HGraphConstruction)->Arg(1024)->Arg(8192);
+
+void BM_RandomWalkStep(benchmark::State& state) {
+  support::Rng rng(4);
+  const auto g = graph::HGraph::random(4096, 8, rng);
+  std::size_t v = 0;
+  for (auto _ : state) {
+    v = g.neighbor(v, static_cast<int>(rng.below(8)));
+  }
+  benchmark::DoNotOptimize(v);
+}
+BENCHMARK(BM_RandomWalkStep);
+
+void BM_HypercubeNeighbors(benchmark::State& state) {
+  const graph::Hypercube cube(16);
+  std::uint64_t v = 0xBEEF;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube.neighbors(v));
+  }
+}
+BENCHMARK(BM_HypercubeNeighbors);
+
+void BM_ConnectivityGroupedOverlay(benchmark::State& state) {
+  support::Rng rng(5);
+  std::vector<sim::NodeId> nodes(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < nodes.size(); ++i) nodes[i] = i;
+  const auto table = dos::GroupTable::random(6, nodes, rng);
+  const auto edges = table.overlay_edges();
+  const auto all = table.all_nodes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::is_connected(all, edges));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_ConnectivityGroupedOverlay)->Arg(1024)->Arg(4096);
+
+void BM_SpectralGapEstimate(benchmark::State& state) {
+  support::Rng rng(6);
+  const auto g = graph::HGraph::random(
+      static_cast<std::size_t>(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::second_eigenvalue_estimate(g, rng, 50));
+  }
+}
+BENCHMARK(BM_SpectralGapEstimate)->Arg(512)->Arg(2048);
+
+void BM_ChiSquare(benchmark::State& state) {
+  support::Rng rng(7);
+  std::vector<std::uint64_t> counts(1024);
+  for (auto& count : counts) count = 100 + rng.below(20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support::chi_square_uniform(counts));
+  }
+}
+BENCHMARK(BM_ChiSquare);
+
+}  // namespace

@@ -1,0 +1,49 @@
+// Experiment E1 (extension): distributed size estimation replaces the
+// Section 4 oracle. Accuracy of the log2 n estimate, the derived log log n
+// bound, and the bootstrap cost (flooding rounds ~ diameter).
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "estimate/size_estimation.hpp"
+#include "graph/hgraph.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace reconfnet;
+  bench::banner(
+      "E1 (extension): distributed size estimation",
+      "The paper assumes every node knows an upper bound k on log log n; "
+      "this protocol computes one (Flajolet-Martin sketches flooded over "
+      "the expander) in diameter-many bootstrap rounds.");
+
+  support::Table table({"n", "log2(n)", "estimate", "k=loglog_ub",
+                        "true_loglog", "rounds", "kbits/nd/rd"});
+  for (const std::size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+    support::Rng rng(bench::kBenchSeed + n);
+    const auto g = graph::HGraph::random(n, 8, rng);
+    estimate::SizeEstimationConfig config;
+    config.slots = 32;
+    const auto result = estimate::estimate_size(g, config, rng);
+    const double true_log = std::log2(static_cast<double>(n));
+    table.add_row(
+        {support::Table::num(static_cast<std::uint64_t>(n)),
+         support::Table::num(true_log, 2),
+         support::Table::num(result.log_n_upper[0], 2),
+         support::Table::num(result.loglog_upper[0]),
+         support::Table::num(std::log2(true_log), 2),
+         support::Table::num(result.rounds),
+         support::Table::num(
+             static_cast<double>(result.max_node_bits_per_round) / 1000.0,
+             1)});
+  }
+  table.print(std::cout);
+  bench::interpretation(
+      "The estimate tracks log2 n within ~1-2 across a 256x size range, and "
+      "the derived k upper-bounds log log n with the additive slack the "
+      "paper's protocols tolerate. The bootstrap costs ~diameter rounds "
+      "(O(log n)) once; afterwards every reconfiguration epoch runs in "
+      "O(log log n) rounds with no oracle.");
+  return EXIT_SUCCESS;
+}

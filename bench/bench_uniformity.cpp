@@ -1,0 +1,107 @@
+// Experiment T3 (Lemmas 2/3): the sampling distributions, measured
+// *per origin*. Aggregating over all origins would be uniform for any walk
+// length by symmetry (the transition matrix is doubly stochastic), so the
+// meaningful quantity is the distribution of one node's samples: Lemma 2
+// bounds its deviation from uniform by n^-alpha once walks reach
+// ceil(2 alpha log_{d/4} n).
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "graph/hgraph.hpp"
+#include "graph/hypercube.hpp"
+#include "sampling/hgraph_sampler.hpp"
+#include "sampling/hypercube_sampler.hpp"
+#include "sampling/schedule.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace reconfnet;
+
+/// Counts node 0's samples over `runs` independent executions.
+template <typename RunFn>
+std::vector<std::uint64_t> origin_counts(std::size_t n, int runs,
+                                         support::Rng& rng, RunFn run_fn) {
+  std::vector<std::uint64_t> counts(n, 0);
+  for (int run = 0; run < runs; ++run) {
+    auto run_rng = rng.split(static_cast<std::uint64_t>(run));
+    for (auto sample : run_fn(run_rng)) {
+      ++counts[static_cast<std::size_t>(sample)];
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "T3: per-origin sampling distribution (Lemmas 2/3)",
+      "Claim: one node's H-graph samples deviate from uniform by at most "
+      "n^-alpha per target once walks reach the Lemma 2 length; short walks "
+      "are visibly biased. Hypercube sampling is exactly uniform.");
+
+  support::Rng rng(bench::kBenchSeed + 3);
+  const std::size_t n = 128;
+  const auto g = graph::HGraph::random(n, 8, rng);
+  constexpr int kRuns = 60;
+
+  support::Table table(
+      {"graph", "alpha", "walk_len", "samples", "tv_dist", "chi2_p"});
+  for (const double alpha : {0.25, 0.5, 1.0, 2.0}) {
+    const auto estimate = sampling::SizeEstimate::from_true_size(n);
+    sampling::SamplingConfig config;
+    config.alpha = alpha;
+    config.c = 4.0;
+    const auto schedule = sampling::hgraph_schedule(estimate, 8, config);
+    auto sweep_rng = rng.split(static_cast<std::uint64_t>(alpha * 100));
+    const auto counts =
+        origin_counts(n, kRuns, sweep_rng, [&](support::Rng& run_rng) {
+          return sampling::run_hgraph_sampling(g, schedule, run_rng)
+              .samples.front();
+        });
+    table.add_row(
+        {"hgraph", support::Table::num(alpha, 2),
+         support::Table::num(
+             static_cast<std::uint64_t>(schedule.target_walk_length)),
+         support::Table::num(static_cast<std::uint64_t>(std::accumulate(
+             counts.begin(), counts.end(), std::uint64_t{0}))),
+         support::Table::num(support::tv_distance_from_uniform(counts), 4),
+         support::Table::num(support::chi_square_uniform(counts).p_value,
+                             4)});
+  }
+
+  // Hypercube reference: exactly uniform per origin by construction.
+  {
+    const graph::Hypercube cube(7);
+    const auto estimate = sampling::SizeEstimate::from_true_size(cube.size());
+    sampling::SamplingConfig config;
+    config.c = 4.0;
+    const auto schedule = sampling::hypercube_schedule(estimate, 7, config);
+    auto sweep_rng = rng.split(999);
+    const auto counts = origin_counts(
+        cube.size(), kRuns, sweep_rng, [&](support::Rng& run_rng) {
+          return sampling::run_hypercube_sampling(cube, schedule, run_rng)
+              .samples.front();
+        });
+    table.add_row(
+        {"hypercube", "-", "7",
+         support::Table::num(static_cast<std::uint64_t>(std::accumulate(
+             counts.begin(), counts.end(), std::uint64_t{0}))),
+         support::Table::num(support::tv_distance_from_uniform(counts), 4),
+         support::Table::num(support::chi_square_uniform(counts).p_value,
+                             4)});
+  }
+  table.print(std::cout);
+  bench::interpretation(
+      "Walks of length 4 (alpha = 0.25) are still concentrated near the "
+      "origin — large TV, chi-square p ~ 0. At the Lemma 2 length "
+      "(alpha >= 1) the per-origin distribution becomes statistically "
+      "indistinguishable from uniform, and the hypercube primitive matches "
+      "its exact-uniformity guarantee at any length.");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,25 @@
+// Shared helpers for the experiment harnesses. Every bench binary prints a
+// banner naming the experiment id from DESIGN.md, one or more tables, and an
+// interpretation line so bench_output.txt reads as a self-contained report.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "support/table.hpp"
+
+namespace reconfnet::bench {
+
+inline constexpr std::uint64_t kBenchSeed = 0xBE5C0FFEE;
+
+inline void banner(const std::string& experiment_id,
+                   const std::string& claim) {
+  std::cout << "\n=== " << experiment_id << " ===\n" << claim << "\n\n";
+}
+
+inline void interpretation(const std::string& text) {
+  std::cout << "\n-> " << text << "\n";
+}
+
+}  // namespace reconfnet::bench

@@ -1,0 +1,69 @@
+// Three ways to reconfigure an overlay, raced on the same network size:
+//
+//   1. Algorithm 3 with rapid node sampling   (the paper's contribution)
+//   2. Algorithm 3 with plain random walks    (the obvious baseline)
+//   3. Skip-graph routing                     (the Section 1.2 alternative)
+//
+// All three produce a fresh uniformly random topology; they differ in the
+// number of synchronous communication rounds the network is "in transit" —
+// which is exactly the delay T within which churn must be absorbed and the
+// window a DoS adversary's stale knowledge stays useful.
+#include <iomanip>
+#include <iostream>
+#include <numeric>
+
+#include "churn/reconfigure.hpp"
+#include "graph/hgraph.hpp"
+#include "graph/skip_graph.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace reconfnet;
+  support::Rng rng(2026);
+
+  std::cout << "rounds to reconfigure (lower = harder to attack)\n\n";
+  std::cout << std::left << std::setw(8) << "n" << std::setw(18)
+            << "rapid sampling" << std::setw(18) << "plain walks"
+            << "skip-graph routing\n";
+
+  for (const std::size_t n : {256u, 512u, 1024u, 2048u}) {
+    const auto g = graph::HGraph::random(n, 8, rng);
+    churn::ReconfigInput input;
+    input.topology = &g;
+    input.members.resize(n);
+    std::iota(input.members.begin(), input.members.end(), sim::NodeId{0});
+    input.leaving.assign(n, false);
+    input.joiners.assign(n, {});
+    input.sampling.c = 2.0;
+    input.estimate = sampling::SizeEstimate::from_true_size(n);
+
+    auto rapid_rng = rng.split(1);
+    const auto rapid = churn::reconfigure(input, rapid_rng);
+
+    input.use_plain_walk_sampling = true;
+    auto plain_rng = rng.split(2);
+    const auto plain = churn::reconfigure(input, plain_rng);
+
+    // Skip-graph: every node routes to a fresh random key; the slowest
+    // route bounds the parallel routing phase (list rebuild not counted).
+    const auto skip = graph::SkipGraph::random(n, rng);
+    std::size_t max_hops = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      max_hops = std::max(max_hops, skip.route(v, rng.next()).size());
+    }
+
+    std::cout << std::setw(8) << n << std::setw(18)
+              << (rapid.success ? std::to_string(rapid.rounds)
+                                : rapid.failure_reason)
+              << std::setw(18)
+              << (plain.success ? std::to_string(plain.rounds)
+                                : plain.failure_reason)
+              << max_hops << "+ (routing only)\n";
+  }
+
+  std::cout << "\nThe rapid column barely moves as n grows 8x — that's "
+               "O(log log n).\nThe other two track log n, which is what the "
+               "paper's sampling primitive removes\nfrom the critical "
+               "path.\n";
+  return 0;
+}

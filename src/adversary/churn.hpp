@@ -1,0 +1,114 @@
+// Adversarial churn (Section 1.1). The adversary is omniscient: it sees the
+// full ground-truth state of the simulation each round. It prescribes joins
+// (each new node introduced to exactly one surviving member, at most ceil(r)
+// introductions per member per round) and leaves. Node ids are never reused.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::adversary {
+
+/// Omniscient view handed to a churn adversary each round.
+struct ChurnView {
+  sim::Round round = 0;
+  /// Current members V_i (ids currently woven into the overlay).
+  std::span<const sim::NodeId> members;
+  /// Members that have already been prescribed to leave but are still
+  /// completing the current reconfiguration (monotonicity: they may not be
+  /// re-targeted).
+  std::span<const sim::NodeId> departing;
+};
+
+/// One round's prescription.
+struct ChurnBatch {
+  /// (new node id, sponsor): the new node is introduced to the sponsor, which
+  /// must be a current member that is not departing.
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> joins;
+  /// Members prescribed to leave.
+  std::vector<sim::NodeId> leaves;
+};
+
+/// Strategy interface. Implementations allocate join ids from `ids` so ids
+/// are globally unique and never reused.
+class ChurnAdversary {
+ public:
+  virtual ~ChurnAdversary() = default;
+  virtual ChurnBatch next(const ChurnView& view, sim::IdAllocator& ids) = 0;
+};
+
+/// No churn at all.
+class NoChurn final : public ChurnAdversary {
+ public:
+  ChurnBatch next(const ChurnView&, sim::IdAllocator&) override { return {}; }
+};
+
+/// Uniformly random churn: each round removes `turnover` fraction of the
+/// members chosen uniformly at random and adds `growth` times as many new
+/// nodes, each sponsored by a uniformly random survivor (respecting the
+/// ceil(rate) introductions-per-sponsor cap).
+class UniformChurn final : public ChurnAdversary {
+ public:
+  UniformChurn(double turnover, double growth, double rate,
+               support::Rng rng);
+  ChurnBatch next(const ChurnView& view, sim::IdAllocator& ids) override;
+
+ private:
+  double turnover_;
+  double growth_;
+  std::size_t max_per_sponsor_;
+  support::Rng rng_;
+};
+
+/// Topology-aware churn that removes a *contiguous run* of nodes along the
+/// overlay order it is given (the overlay reports a linear order such as one
+/// Hamilton cycle via set_order). Against a static topology this is the
+/// strongest cut attack; against a reconfiguring overlay the order is stale
+/// by the time nodes leave.
+class SegmentChurn final : public ChurnAdversary {
+ public:
+  SegmentChurn(double turnover, double rate, support::Rng rng);
+  /// Ground-truth cycle order, updated by the harness whenever it likes
+  /// (omniscient adversary).
+  void set_order(std::vector<sim::NodeId> order);
+  ChurnBatch next(const ChurnView& view, sim::IdAllocator& ids) override;
+
+ private:
+  double turnover_;
+  std::size_t max_per_sponsor_;
+  support::Rng rng_;
+  std::vector<sim::NodeId> order_;
+};
+
+/// All joins are introduced to a single sponsor each round (up to the
+/// per-sponsor cap), stressing join delegation.
+class SponsorFloodChurn final : public ChurnAdversary {
+ public:
+  SponsorFloodChurn(double turnover, double rate, support::Rng rng);
+  ChurnBatch next(const ChurnView& view, sim::IdAllocator& ids) override;
+
+ private:
+  double turnover_;
+  std::size_t max_per_sponsor_;
+  support::Rng rng_;
+};
+
+/// Alternates quiet periods with maximal bursts: `burst_every` rounds of
+/// silence, then one round at the given turnover.
+class BurstChurn final : public ChurnAdversary {
+ public:
+  BurstChurn(double turnover, double rate, int burst_every, support::Rng rng);
+  ChurnBatch next(const ChurnView& view, sim::IdAllocator& ids) override;
+
+ private:
+  UniformChurn inner_;
+  int burst_every_;
+  int counter_ = 0;
+};
+
+}  // namespace reconfnet::adversary

@@ -1,0 +1,178 @@
+#include "adversary/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace reconfnet::adversary {
+namespace {
+
+std::size_t sponsor_cap(double rate) {
+  if (rate < 1.0) throw std::invalid_argument("churn rate must be >= 1");
+  return static_cast<std::size_t>(std::ceil(rate));
+}
+
+/// Survivors = members that neither leave this round nor are already
+/// departing; only they may sponsor joins (paper: introduced to a node in
+/// W_i intersect W_{i+1}).
+std::vector<sim::NodeId> survivors(
+    const ChurnView& view, const std::vector<sim::NodeId>& leaves) {
+  std::unordered_set<sim::NodeId> gone(leaves.begin(), leaves.end());
+  gone.insert(view.departing.begin(), view.departing.end());
+  std::vector<sim::NodeId> out;
+  out.reserve(view.members.size());
+  for (sim::NodeId node : view.members) {
+    if (!gone.contains(node)) out.push_back(node);
+  }
+  return out;
+}
+
+/// Assigns `join_count` fresh nodes to sponsors drawn uniformly from
+/// `sponsor_pool`, respecting the per-sponsor cap.
+void assign_joins(std::size_t join_count,
+                  const std::vector<sim::NodeId>& sponsor_pool,
+                  std::size_t cap, support::Rng& rng, sim::IdAllocator& ids,
+                  ChurnBatch& batch) {
+  if (sponsor_pool.empty()) return;
+  std::unordered_map<sim::NodeId, std::size_t> used;
+  for (std::size_t i = 0; i < join_count; ++i) {
+    // Rejection-sample a sponsor with remaining budget; bail out if the cap
+    // makes the requested volume infeasible.
+    sim::NodeId sponsor = sim::kNoNode;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto pick = sponsor_pool[rng.below(sponsor_pool.size())];
+      if (used[pick] < cap) {
+        sponsor = pick;
+        break;
+      }
+    }
+    if (sponsor == sim::kNoNode) break;
+    ++used[sponsor];
+    batch.joins.emplace_back(ids.allocate(), sponsor);
+  }
+}
+
+}  // namespace
+
+UniformChurn::UniformChurn(double turnover, double growth, double rate,
+                           support::Rng rng)
+    : turnover_(turnover),
+      growth_(growth),
+      max_per_sponsor_(sponsor_cap(rate)),
+      rng_(rng) {}
+
+ChurnBatch UniformChurn::next(const ChurnView& view, sim::IdAllocator& ids) {
+  ChurnBatch batch;
+  const std::size_t n = view.members.size();
+  if (n == 0) return batch;
+  std::unordered_set<sim::NodeId> departing(view.departing.begin(),
+                                            view.departing.end());
+  const auto leave_target = static_cast<std::size_t>(
+      turnover_ * static_cast<double>(n));
+  // Sample leaves without replacement from members not already departing.
+  std::vector<sim::NodeId> candidates;
+  candidates.reserve(n);
+  for (sim::NodeId node : view.members) {
+    if (!departing.contains(node)) candidates.push_back(node);
+  }
+  rng_.shuffle(std::span<sim::NodeId>(candidates));
+  const std::size_t leave_count =
+      std::min(leave_target, candidates.size() > 1 ? candidates.size() - 1
+                                                   : std::size_t{0});
+  batch.leaves.assign(candidates.begin(),
+                      candidates.begin() + static_cast<std::ptrdiff_t>(leave_count));
+
+  const auto join_count = static_cast<std::size_t>(
+      growth_ * static_cast<double>(leave_count));
+  assign_joins(join_count, survivors(view, batch.leaves), max_per_sponsor_,
+               rng_, ids, batch);
+  return batch;
+}
+
+SegmentChurn::SegmentChurn(double turnover, double rate, support::Rng rng)
+    : turnover_(turnover), max_per_sponsor_(sponsor_cap(rate)), rng_(rng) {}
+
+void SegmentChurn::set_order(std::vector<sim::NodeId> order) {
+  order_ = std::move(order);
+}
+
+ChurnBatch SegmentChurn::next(const ChurnView& view, sim::IdAllocator& ids) {
+  ChurnBatch batch;
+  const std::size_t n = view.members.size();
+  if (n == 0) return batch;
+  std::unordered_set<sim::NodeId> departing(view.departing.begin(),
+                                            view.departing.end());
+  std::unordered_set<sim::NodeId> member_set(view.members.begin(),
+                                             view.members.end());
+  const auto leave_target =
+      static_cast<std::size_t>(turnover_ * static_cast<double>(n));
+  if (!order_.empty() && leave_target > 0) {
+    // Remove a contiguous run starting at a random position of the reported
+    // cycle order, skipping ids that are no longer members.
+    const std::size_t start = static_cast<std::size_t>(rng_.below(order_.size()));
+    for (std::size_t i = 0;
+         i < order_.size() && batch.leaves.size() < leave_target; ++i) {
+      const sim::NodeId node = order_[(start + i) % order_.size()];
+      if (member_set.contains(node) && !departing.contains(node) &&
+          batch.leaves.size() + 1 < n) {
+        batch.leaves.push_back(node);
+      }
+    }
+  }
+  assign_joins(batch.leaves.size(), survivors(view, batch.leaves),
+               max_per_sponsor_, rng_, ids, batch);
+  return batch;
+}
+
+SponsorFloodChurn::SponsorFloodChurn(double turnover, double rate,
+                                     support::Rng rng)
+    : turnover_(turnover), max_per_sponsor_(sponsor_cap(rate)), rng_(rng) {}
+
+ChurnBatch SponsorFloodChurn::next(const ChurnView& view,
+                                   sim::IdAllocator& ids) {
+  ChurnBatch batch;
+  const std::size_t n = view.members.size();
+  if (n == 0) return batch;
+  std::unordered_set<sim::NodeId> departing(view.departing.begin(),
+                                            view.departing.end());
+  std::vector<sim::NodeId> candidates;
+  for (sim::NodeId node : view.members) {
+    if (!departing.contains(node)) candidates.push_back(node);
+  }
+  rng_.shuffle(std::span<sim::NodeId>(candidates));
+  const auto leave_target =
+      static_cast<std::size_t>(turnover_ * static_cast<double>(n));
+  const std::size_t leave_count = std::min(
+      leave_target,
+      candidates.size() > 1 ? candidates.size() - 1 : std::size_t{0});
+  batch.leaves.assign(
+      candidates.begin(),
+      candidates.begin() + static_cast<std::ptrdiff_t>(leave_count));
+
+  const auto pool = survivors(view, batch.leaves);
+  if (pool.empty()) return batch;
+  const sim::NodeId victim = pool[rng_.below(pool.size())];
+  const std::size_t join_count = std::min(leave_count, max_per_sponsor_);
+  for (std::size_t i = 0; i < join_count; ++i) {
+    batch.joins.emplace_back(ids.allocate(), victim);
+  }
+  return batch;
+}
+
+BurstChurn::BurstChurn(double turnover, double rate, int burst_every,
+                       support::Rng rng)
+    : inner_(turnover, 1.0, rate, rng), burst_every_(burst_every) {
+  if (burst_every < 1) {
+    throw std::invalid_argument("BurstChurn: burst_every must be >= 1");
+  }
+}
+
+ChurnBatch BurstChurn::next(const ChurnView& view, sim::IdAllocator& ids) {
+  ++counter_;
+  if (counter_ % burst_every_ != 0) return {};
+  return inner_.next(view, ids);
+}
+
+}  // namespace reconfnet::adversary

@@ -1,0 +1,100 @@
+// DoS adversaries (Section 1.1). An r-bounded t-late adversary may block any
+// r-fraction of the current nodes each round but only sees the overlay
+// topology as it was at least t rounds ago. Lateness is enforced by the
+// harness: strategies receive a stale TopologySnapshot, never live state.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "sim/bus.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::adversary {
+
+/// Strategy interface. `stale` is the freshest snapshot that is at least the
+/// configured lateness old (nullptr if none exists yet); `universe` is the
+/// publicly known id space (an adversary without topology information can
+/// still block ids blindly); `budget` is the maximum number of nodes the
+/// adversary may block this round.
+class DosAdversary {
+ public:
+  virtual ~DosAdversary() = default;
+  virtual sim::BlockedSet choose(const sim::TopologySnapshot* stale,
+                                 std::span<const sim::NodeId> universe,
+                                 std::size_t budget, sim::Round now) = 0;
+};
+
+/// Blocks nothing.
+class NoDos final : public DosAdversary {
+ public:
+  sim::BlockedSet choose(const sim::TopologySnapshot*,
+                         std::span<const sim::NodeId>, std::size_t,
+                         sim::Round) override {
+    return {};
+  }
+};
+
+/// Blocks a uniformly random `budget`-subset of the (stale) node set.
+class RandomDos final : public DosAdversary {
+ public:
+  explicit RandomDos(support::Rng rng) : rng_(rng) {}
+  sim::BlockedSet choose(const sim::TopologySnapshot* stale,
+                                std::span<const sim::NodeId> universe,
+                                std::size_t budget, sim::Round now) override;
+
+ private:
+  support::Rng rng_;
+};
+
+/// Isolation attack: repeatedly picks a victim and blocks its entire closed
+/// neighborhood in the stale topology until the budget is exhausted. Against
+/// a static overlay with degree < budget this disconnects the network even
+/// for large lateness; against the reconfiguring overlay the stale
+/// neighborhood no longer matches the live one.
+class IsolationDos final : public DosAdversary {
+ public:
+  explicit IsolationDos(support::Rng rng) : rng_(rng) {}
+  sim::BlockedSet choose(const sim::TopologySnapshot* stale,
+                                std::span<const sim::NodeId> universe,
+                                std::size_t budget, sim::Round now) override;
+
+ private:
+  support::Rng rng_;
+};
+
+/// Clique attack tuned against the grouped-hypercube overlay of Section 5:
+/// in the stale topology the groups appear as cliques, so the adversary
+/// greedily blocks whole cliques (a victim plus every neighbor sharing 90% of
+/// its neighborhood) hoping to silence an entire group.
+class GroupWipeDos final : public DosAdversary {
+ public:
+  explicit GroupWipeDos(support::Rng rng) : rng_(rng) {}
+  sim::BlockedSet choose(const sim::TopologySnapshot* stale,
+                                std::span<const sim::NodeId> universe,
+                                std::size_t budget, sim::Round now) override;
+
+ private:
+  support::Rng rng_;
+};
+
+/// Blocks the same random set for `hold` consecutive rounds before rerolling;
+/// models an attacker with slow retargeting.
+class StickyRandomDos final : public DosAdversary {
+ public:
+  StickyRandomDos(support::Rng rng, int hold) : rng_(rng), hold_(hold) {}
+  sim::BlockedSet choose(const sim::TopologySnapshot* stale,
+                                std::span<const sim::NodeId> universe,
+                                std::size_t budget, sim::Round now) override;
+
+ private:
+  support::Rng rng_;
+  int hold_;
+  int age_ = 0;
+  sim::BlockedSet current_;
+};
+
+}  // namespace reconfnet::adversary

@@ -1,0 +1,144 @@
+#include "adversary/dos.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace reconfnet::adversary {
+namespace {
+
+/// Adjacency lists of a snapshot, deduplicated.
+std::unordered_map<sim::NodeId, std::vector<sim::NodeId>> adjacency(
+    const sim::TopologySnapshot& snap) {
+  std::unordered_map<sim::NodeId, std::unordered_set<sim::NodeId>> sets;
+  for (sim::NodeId node : snap.nodes) sets[node];
+  for (const auto& [a, b] : snap.edges) {
+    if (a == b) continue;
+    sets[a].insert(b);
+    sets[b].insert(a);
+  }
+  std::unordered_map<sim::NodeId, std::vector<sim::NodeId>> adj;
+  adj.reserve(sets.size());
+  for (auto& [node, nbrs] : sets) {
+    adj.emplace(node, std::vector<sim::NodeId>(nbrs.begin(), nbrs.end()));
+  }
+  return adj;
+}
+
+}  // namespace
+
+sim::BlockedSet RandomDos::choose(const sim::TopologySnapshot* stale,
+                                  std::span<const sim::NodeId> universe,
+                                  std::size_t budget, sim::Round) {
+  sim::BlockedSet blocked;
+  std::vector<sim::NodeId> pool =
+      stale != nullptr && !stale->nodes.empty()
+          ? stale->nodes
+          : std::vector<sim::NodeId>(universe.begin(), universe.end());
+  if (pool.empty() || budget == 0) return blocked;
+  rng_.shuffle(std::span<sim::NodeId>(pool));
+  const std::size_t count = std::min(budget, pool.size());
+  for (std::size_t i = 0; i < count; ++i) blocked.insert(pool[i]);
+  return blocked;
+}
+
+sim::BlockedSet IsolationDos::choose(const sim::TopologySnapshot* stale,
+                                     std::span<const sim::NodeId> universe,
+                                     std::size_t budget, sim::Round now) {
+  // Without topology information the strategy degrades to blind random
+  // blocking over the public id space.
+  if (stale == nullptr || stale->nodes.empty()) {
+    RandomDos fallback(rng_.split(static_cast<std::uint64_t>(now)));
+    return fallback.choose(nullptr, universe, budget, now);
+  }
+  sim::BlockedSet blocked;
+  if (budget == 0) return blocked;
+  const auto adj = adjacency(*stale);
+  std::vector<sim::NodeId> candidates = stale->nodes;
+  rng_.shuffle(std::span<sim::NodeId>(candidates));
+  // Isolate victims: block every neighbor of a victim while leaving the
+  // victim itself non-blocked — the paper's argument for why a topology-aware
+  // adversary defeats any static overlay of degree below its budget.
+  std::unordered_set<sim::NodeId> victims;
+  for (sim::NodeId victim : candidates) {
+    if (blocked.contains(victim)) continue;
+    const auto it = adj.find(victim);
+    if (it == adj.end() || it->second.empty()) continue;
+    // The victim's neighbors must all fit in the remaining budget and must
+    // not include an earlier victim (that would un-isolate it).
+    std::size_t fresh = 0;
+    bool clashes = false;
+    for (sim::NodeId nbr : it->second) {
+      if (victims.contains(nbr)) {
+        clashes = true;
+        break;
+      }
+      if (!blocked.contains(nbr)) ++fresh;
+    }
+    if (clashes || blocked.size() + fresh > budget) continue;
+    victims.insert(victim);
+    for (sim::NodeId nbr : it->second) blocked.insert(nbr);
+    if (blocked.size() >= budget) break;
+  }
+  // Spend leftover budget on random non-victim nodes for maximum pressure.
+  for (sim::NodeId node : candidates) {
+    if (blocked.size() >= budget) break;
+    if (!victims.contains(node)) blocked.insert(node);
+  }
+  return blocked;
+}
+
+sim::BlockedSet GroupWipeDos::choose(const sim::TopologySnapshot* stale,
+                                     std::span<const sim::NodeId> universe,
+                                     std::size_t budget, sim::Round now) {
+  if (stale == nullptr || stale->nodes.empty()) {
+    RandomDos fallback(rng_.split(static_cast<std::uint64_t>(now)));
+    return fallback.choose(nullptr, universe, budget, now);
+  }
+  sim::BlockedSet blocked;
+  if (budget == 0) return blocked;
+  const auto adj = adjacency(*stale);
+  std::vector<sim::NodeId> victims = stale->nodes;
+  rng_.shuffle(std::span<sim::NodeId>(victims));
+  for (sim::NodeId victim : victims) {
+    if (blocked.contains(victim)) continue;
+    const auto it = adj.find(victim);
+    if (it == adj.end()) continue;
+    const std::unordered_set<sim::NodeId> victim_nbrs(it->second.begin(),
+                                                      it->second.end());
+    // The victim's group = victim + neighbors sharing most of its
+    // neighborhood (group members are pairwise adjacent in the snapshot).
+    std::vector<sim::NodeId> clique{victim};
+    for (sim::NodeId nbr : it->second) {
+      const auto nbr_it = adj.find(nbr);
+      if (nbr_it == adj.end()) continue;
+      std::size_t shared = 0;
+      for (sim::NodeId x : nbr_it->second) {
+        if (x == victim || victim_nbrs.contains(x)) ++shared;
+      }
+      if (10 * shared >= 9 * victim_nbrs.size()) clique.push_back(nbr);
+    }
+    if (blocked.size() + clique.size() > budget) continue;
+    for (sim::NodeId member : clique) blocked.insert(member);
+    if (blocked.size() >= budget) break;
+  }
+  for (sim::NodeId node : victims) {
+    if (blocked.size() >= budget) break;
+    blocked.insert(node);
+  }
+  return blocked;
+}
+
+sim::BlockedSet StickyRandomDos::choose(const sim::TopologySnapshot* stale,
+                                        std::span<const sim::NodeId> universe,
+                                        std::size_t budget, sim::Round now) {
+  if (age_ == 0 || current_.size() > budget) {
+    RandomDos fresh(rng_.split(static_cast<std::uint64_t>(now)));
+    current_ = fresh.choose(stale, universe, budget, now);
+  }
+  age_ = (age_ + 1) % hold_;
+  return current_;
+}
+
+}  // namespace reconfnet::adversary

@@ -1,0 +1,87 @@
+#include "apps/anonym/anonymizer.hpp"
+
+#include <algorithm>
+
+namespace reconfnet::apps {
+namespace {
+
+const sim::BlockedSet kNoneBlocked;
+
+const sim::BlockedSet& blocked_at(
+    std::span<const sim::BlockedSet> blocked_per_round, std::size_t round) {
+  return round < blocked_per_round.size() ? blocked_per_round[round]
+                                          : kNoneBlocked;
+}
+
+/// A server is available in round r if it is non-blocked in rounds r-1 and r
+/// (the paper's availability rule; round 0 only needs round 0).
+bool available(std::span<const sim::BlockedSet> blocked, std::size_t round,
+               sim::NodeId server) {
+  if (blocked_at(blocked, round).contains(server)) return false;
+  if (round > 0 && blocked_at(blocked, round - 1).contains(server)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+AnonymizerReport route_anonymous_batch(
+    const dos::GroupTable& servers,
+    std::span<const AnonymousRequest> requests,
+    std::span<const sim::BlockedSet> blocked_per_round, support::Rng& rng) {
+  AnonymizerReport report;
+  report.requests = requests.size();
+  report.rounds = kAnonymizerPipelineRounds;
+
+  const auto all = servers.all_nodes();
+  // Round 0: the user contacts a non-blocked entry server s(v). Users can
+  // probe servers freely, so we draw uniformly among the non-blocked ones.
+  std::vector<sim::NodeId> entry_pool;
+  entry_pool.reserve(all.size());
+  for (sim::NodeId server : all) {
+    if (!blocked_at(blocked_per_round, 0).contains(server)) {
+      entry_pool.push_back(server);
+    }
+  }
+  if (entry_pool.empty()) return report;
+
+  for (const auto& request : requests) {
+    (void)request;  // user identities do not influence routing
+    const sim::NodeId entry = entry_pool[rng.below(entry_pool.size())];
+    const auto x = servers.supernode_of(entry);
+    // Round 1: entry forwards the message to its destination group
+    // D(entry) = R(x) \ {entry}; a member receives it if the entry was
+    // non-blocked when sending (guaranteed) and the member is available.
+    std::vector<sim::NodeId> holders;
+    for (sim::NodeId member : servers.group(x)) {
+      if (member != entry && available(blocked_per_round, 1, member)) {
+        holders.push_back(member);
+      }
+    }
+    // Round 2: the holders forward to the destination user w (users are
+    // never blocked) if they are non-blocked when sending.
+    std::vector<sim::NodeId> exits;
+    for (sim::NodeId holder : holders) {
+      if (!blocked_at(blocked_per_round, 2).contains(holder)) {
+        exits.push_back(holder);
+      }
+    }
+    if (exits.empty()) continue;
+    ++report.delivered;
+    // The exit server "chosen by a rule that ignores server properties".
+    report.exit_servers.push_back(exits[rng.below(exits.size())]);
+    // Rounds 3-4: w replies to the servers it heard from; each needs to be
+    // available in round 3 to receive and non-blocked in round 4 to forward
+    // the reply back to the source user.
+    const bool reply = std::any_of(
+        exits.begin(), exits.end(), [&](sim::NodeId holder) {
+          return available(blocked_per_round, 3, holder) &&
+                 !blocked_at(blocked_per_round, 4).contains(holder);
+        });
+    if (reply) ++report.replied;
+  }
+  return report;
+}
+
+}  // namespace reconfnet::apps

@@ -1,0 +1,50 @@
+// Robust anonymous routing (Section 7.1). The servers form the DoS-resistant
+// grouped hypercube of Section 5; each server s has a destination group
+// D(s) = R(x) \ {s} for the supernode x it represents. A user request enters
+// at any non-blocked server s, fans out to D(s), and exits towards the
+// destination user from servers that — thanks to the uniformly random group
+// reassignment — are uniformly distributed over V from the attacker's point
+// of view (Corollary 2): robustness, anonymity, and O(1) rounds per request.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dos/overlay.hpp"
+#include "sim/bus.hpp"
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::apps {
+
+/// One user-to-user message routed through the server overlay.
+struct AnonymousRequest {
+  std::uint64_t from_user = 0;
+  std::uint64_t to_user = 0;
+};
+
+struct AnonymizerReport {
+  std::size_t requests = 0;
+  std::size_t delivered = 0;       ///< reached the destination user
+  std::size_t replied = 0;         ///< reply made it back to the source
+  sim::Round rounds = 0;           ///< pipeline length (constant)
+  /// One uniformly chosen exit server per delivered request; Corollary 2's
+  /// anonymity property says these are uniform over V.
+  std::vector<sim::NodeId> exit_servers;
+};
+
+/// Routes a batch of user requests through the server overlay under the
+/// given per-round blocked sets (index r = blocked set in pipeline round r;
+/// missing entries mean nothing blocked). Users are never blocked; servers
+/// follow the paper's availability rule.
+AnonymizerReport route_anonymous_batch(
+    const dos::GroupTable& servers,
+    std::span<const AnonymousRequest> requests,
+    std::span<const sim::BlockedSet> blocked_per_round, support::Rng& rng);
+
+/// Number of pipeline rounds used per request (request: user -> s -> D -> w,
+/// reply: w -> D -> v).
+inline constexpr sim::Round kAnonymizerPipelineRounds = 5;
+
+}  // namespace reconfnet::apps

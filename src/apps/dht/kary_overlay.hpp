@@ -1,0 +1,109 @@
+// The k-ary grouped hypercube overlay for the robust DHT (Section 7.2). The
+// servers represent the vertices of a d-dimensional k-ary hypercube
+// (Definition 1) through groups, reconfigured exactly like the binary overlay
+// of Section 5. For k a power of two, a k-ary vertex is the concatenation of
+// its digits' bits, so the rapid sampling primitive of Algorithm 2 runs over
+// the d * log2(k) binary coordinates unchanged — only the adjacency relation
+// (one *digit* may differ, coarser than one bit) distinguishes the k-ary
+// overlay.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adversary/dos.hpp"
+#include "graph/kary_hypercube.hpp"
+#include "sampling/schedule.hpp"
+#include "sim/bus.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::apps {
+
+class KaryGroupedOverlay {
+ public:
+  struct Config {
+    std::size_t size = 1024;
+    int arity = 4;  ///< k; must be a power of two >= 2
+    double group_c = 1.0;
+    sampling::SamplingConfig sampling{};
+    int size_estimate_slack = 0;
+    std::uint64_t seed = 1;
+  };
+
+  struct Attack {
+    adversary::DosAdversary* adversary = nullptr;
+    int lateness = 0;
+    double blocked_fraction = 0.0;
+  };
+
+  struct EpochReport {
+    bool success = false;
+    std::string failure_reason;
+    bool reorganized = false;
+    sim::Round rounds = 0;
+    std::size_t silenced_group_rounds = 0;
+    std::size_t disconnected_rounds = 0;
+    double min_available_fraction = 1.0;
+    std::size_t min_group_size = 0;
+    std::size_t max_group_size = 0;
+  };
+
+  explicit KaryGroupedOverlay(const Config& config);
+
+  /// One reconfiguration epoch (group-level Algorithm 2 simulation plus the
+  /// four-round reorganization), under the given attack.
+  EpochReport run_epoch(const Attack& attack);
+
+  [[nodiscard]] const graph::KaryHypercube& cube() const { return cube_; }
+  [[nodiscard]] std::size_t size() const { return config_.size; }
+  [[nodiscard]] sim::Round round() const { return round_; }
+
+  [[nodiscard]] const std::vector<sim::NodeId>& group(std::uint64_t x) const {
+    return groups_[x];
+  }
+  [[nodiscard]] std::uint64_t supernode_of(sim::NodeId node) const {
+    return node_to_supernode_.at(node);
+  }
+  [[nodiscard]] std::vector<sim::NodeId> all_nodes() const;
+  [[nodiscard]] std::vector<std::pair<sim::NodeId, sim::NodeId>>
+  overlay_edges() const;
+  [[nodiscard]] std::size_t min_group_size() const;
+  [[nodiscard]] std::size_t max_group_size() const;
+
+  /// Deterministic key-to-supernode placement for the DHT layer.
+  [[nodiscard]] std::uint64_t supernode_of_key(std::uint64_t key_hash) const {
+    return key_hash % cube_.size();
+  }
+
+  /// True iff at least one member of R(x) is available in pipeline round
+  /// `round` of `blocked_per_round` (the paper's rule: non-blocked in the
+  /// round and its predecessor).
+  [[nodiscard]] bool group_available(
+      std::uint64_t x, std::size_t round,
+      std::span<const sim::BlockedSet> blocked_per_round) const;
+
+  /// Chooses d maximal with k^d <= n / (c log2 n), at least 1.
+  static int choose_dimension(std::size_t n, int arity, double group_c);
+
+ private:
+  Config config_;
+  support::Rng rng_;
+  graph::KaryHypercube cube_;
+  int bits_per_digit_;
+  std::vector<std::vector<sim::NodeId>> groups_;  // by k-ary vertex
+  std::unordered_map<sim::NodeId, std::uint64_t> node_to_supernode_;
+  sim::SnapshotBuffer snapshots_;
+  sim::BlockedSet blocked_prev_;
+  sim::Round round_ = 0;
+
+  void rebuild_index();
+  void push_snapshot();
+  void advance_round(const Attack& attack, EpochReport& report);
+};
+
+}  // namespace reconfnet::apps

@@ -1,0 +1,188 @@
+#include "apps/pubsub/pubsub.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace reconfnet::apps {
+
+PubSub::PubSub(RobustStore* store) : store_(store) {}
+
+RobustStore::Key PubSub::counter_key(Topic topic) {
+  std::uint64_t state = topic ^ 0xC2B2AE3D27D4EB4FULL;
+  return support::splitmix64(state);
+}
+
+RobustStore::Key PubSub::entry_key(Topic topic, std::uint64_t index) {
+  std::uint64_t state = topic * 0x9E3779B97F4A7C15ULL + index;
+  return support::splitmix64(state);
+}
+
+PubSub::PublishReport PubSub::publish(
+    Topic topic, std::span<const Payload> payloads,
+    std::span<const sim::BlockedSet> blocked_per_round, support::Rng& rng) {
+  PublishReport report;
+  report.requested = payloads.size();
+  if (payloads.empty()) return report;
+
+  // Step 1: read the current counter m(k). A missing record means zero
+  // publications so far.
+  const RobustStore::Key ckey = counter_key(topic);
+  std::vector<RobustStore::Request> read_counter{{false, ckey, 0}};
+  const auto counter_read =
+      store_->execute(read_counter, blocked_per_round, rng);
+  report.rounds += counter_read.rounds;
+  if (counter_read.routing_failures > 0) return report;
+  const std::uint64_t base = store_->peek(ckey).value_or(0);
+
+  // Step 2: store every payload under its assigned index.
+  std::vector<RobustStore::Request> writes;
+  writes.reserve(payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    writes.push_back({true, entry_key(topic, base + 1 + i), payloads[i]});
+  }
+  const auto stored = store_->execute(writes, blocked_per_round, rng);
+  report.rounds += stored.rounds;
+  // Step 3: advance the counter over the stored prefix only, so fetchers
+  // never chase a hole. Entries after a failed write are dropped.
+  std::uint64_t stored_prefix = 0;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    if (store_->peek(entry_key(topic, base + 1 + i)).has_value()) {
+      stored_prefix = i + 1;
+    } else {
+      break;
+    }
+  }
+  if (stored_prefix == 0) return report;
+  std::vector<RobustStore::Request> bump{
+      {true, ckey, base + stored_prefix}};
+  const auto bumped = store_->execute(bump, blocked_per_round, rng);
+  report.rounds += bumped.rounds;
+  if (bumped.write_ok == 1) report.published = stored_prefix;
+  return report;
+}
+
+PubSub::FetchResult PubSub::fetch_since(
+    Topic topic, std::uint64_t since,
+    std::span<const sim::BlockedSet> blocked_per_round, support::Rng& rng) {
+  FetchResult result;
+  const RobustStore::Key ckey = counter_key(topic);
+  std::vector<RobustStore::Request> read_counter{{false, ckey, 0}};
+  const auto counter_read =
+      store_->execute(read_counter, blocked_per_round, rng);
+  result.rounds += counter_read.rounds;
+  if (counter_read.routing_failures > 0) return result;
+  result.latest = store_->peek(ckey).value_or(0);
+  if (result.latest <= since) {
+    result.complete = true;
+    return result;
+  }
+
+  std::vector<RobustStore::Request> reads;
+  for (std::uint64_t index = since + 1; index <= result.latest; ++index) {
+    reads.push_back({false, entry_key(topic, index), 0});
+  }
+  const auto fetched = store_->execute(reads, blocked_per_round, rng);
+  result.rounds += fetched.rounds;
+  result.complete = fetched.read_ok == reads.size();
+  for (std::uint64_t index = since + 1; index <= result.latest; ++index) {
+    const auto value = store_->peek(entry_key(topic, index));
+    if (value.has_value()) result.payloads.push_back(*value);
+  }
+  return result;
+}
+
+PubSub::AggregateReport PubSub::aggregate_publish(
+    std::span<const BatchPublication> batch,
+    std::span<const sim::BlockedSet> blocked_per_round, support::Rng& rng) {
+  (void)rng;
+  AggregateReport report;
+  report.requested = batch.size();
+  if (batch.empty()) return report;
+  const auto& overlay = store_->overlay();
+  const auto& cube = overlay.cube();
+
+  // In-flight aggregates: (group, topic) -> payloads (with combining, one
+  // message per topic per group regardless of how many publications merged).
+  struct Flight {
+    std::vector<Payload> payloads;
+  };
+  std::map<std::pair<std::uint64_t, Topic>, Flight> flights;
+  std::unordered_map<std::uint64_t, std::size_t> combined_congestion;
+  std::unordered_map<std::uint64_t, std::size_t> naive_congestion;
+
+  const auto home_of = [&](Topic topic) {
+    return store_->home_supernode(counter_key(topic));
+  };
+  for (const auto& publication : batch) {
+    flights[{publication.origin_group, publication.topic}]
+        .payloads.push_back(publication.payload);
+    // Naive baseline: every publication is its own message at the origin.
+    ++naive_congestion[publication.origin_group];
+    ++combined_congestion[publication.origin_group];
+  }
+  // Correct the combined origin tally: one message per (group, topic).
+  for (auto& [group_id, count] : combined_congestion) count = 0;
+  for (const auto& [key, flight] : flights) ++combined_congestion[key.first];
+
+  // Lockstep digit-fixing hops with in-network combining. Unavailable
+  // source or destination groups drop the aggregate (group redundancy makes
+  // this rare; the report carries the loss).
+  std::map<Topic, std::vector<Payload>> arrived;
+  std::size_t round = 0;
+  while (!flights.empty() && round < static_cast<std::size_t>(
+                                 cube.dimension()) + 2) {
+    std::map<std::pair<std::uint64_t, Topic>, Flight> next_flights;
+    for (auto& [key, flight] : flights) {
+      const auto [group_id, topic] = key;
+      const std::uint64_t home = home_of(topic);
+      if (group_id == home) {
+        auto& sink = arrived[topic];
+        sink.insert(sink.end(), flight.payloads.begin(),
+                    flight.payloads.end());
+        continue;
+      }
+      std::uint64_t next = group_id;
+      for (int digit = 0; digit < cube.dimension(); ++digit) {
+        const int want = cube.digit(home, digit);
+        if (cube.digit(group_id, digit) != want) {
+          next = cube.with_digit(group_id, digit, want);
+          break;
+        }
+      }
+      if (!overlay.group_available(group_id, round, blocked_per_round) ||
+          !overlay.group_available(next, round + 1, blocked_per_round)) {
+        continue;  // aggregate lost to blocking
+      }
+      auto& merged = next_flights[{next, topic}];
+      merged.payloads.insert(merged.payloads.end(), flight.payloads.begin(),
+                             flight.payloads.end());
+      ++combined_congestion[next];
+      naive_congestion[next] += flight.payloads.size();
+    }
+    flights = std::move(next_flights);
+    ++round;
+  }
+  report.rounds = static_cast<sim::Round>(round) + 1;
+
+  // Home groups assign consecutive indices and store the entries locally
+  // (they already hold the shard).
+  for (auto& [topic, payloads] : arrived) {
+    const RobustStore::Key ckey = counter_key(topic);
+    const std::uint64_t base = store_->peek(ckey).value_or(0);
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      store_->deposit(entry_key(topic, base + 1 + i), payloads[i]);
+    }
+    store_->deposit(ckey, base + payloads.size());
+    report.published += payloads.size();
+  }
+  for (const auto& [group_id, load] : combined_congestion) {
+    report.combined_congestion = std::max(report.combined_congestion, load);
+  }
+  for (const auto& [group_id, load] : naive_congestion) {
+    report.naive_congestion = std::max(report.naive_congestion, load);
+  }
+  return report;
+}
+
+}  // namespace reconfnet::apps

@@ -1,0 +1,90 @@
+// Robust publish-subscribe (Section 7.3), emulated on the robust DHT: each
+// topic key k stores a publication counter m(k); a batch of publications
+// first reads the counter, assigns the consecutive indices
+// m(k)+1 ... m(k)+j, stores publication i under the derived key (k, i), and
+// finally bumps the counter. Subscribers fetch m(k) and then request every
+// entry up to it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/dht/robust_store.hpp"
+#include "sim/bus.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::apps {
+
+class PubSub {
+ public:
+  using Topic = std::uint64_t;
+  using Payload = RobustStore::Value;
+
+  explicit PubSub(RobustStore* store);
+
+  struct PublishReport {
+    std::size_t requested = 0;
+    std::size_t published = 0;  ///< payloads durably stored and indexed
+    sim::Round rounds = 0;
+  };
+
+  /// Publishes a batch of payloads under one topic (the paper's aggregated
+  /// publication scheme). Under blocking, the batch succeeds or fails
+  /// atomically per payload; the counter only advances over stored entries.
+  PublishReport publish(Topic topic, std::span<const Payload> payloads,
+                        std::span<const sim::BlockedSet> blocked_per_round,
+                        support::Rng& rng);
+
+  struct FetchResult {
+    std::vector<Payload> payloads;  ///< entries since the given index
+    std::uint64_t latest = 0;       ///< m(k) as read
+    bool complete = false;          ///< all requested entries retrieved
+    sim::Round rounds = 0;
+  };
+
+  /// One publication of the aggregated batch scheme: the server (group) it
+  /// originates at and what it publishes.
+  struct BatchPublication {
+    std::uint64_t origin_group = 0;  ///< k-ary vertex the publisher sits in
+    Topic topic = 0;
+    Payload payload = 0;
+  };
+
+  struct AggregateReport {
+    std::size_t requested = 0;
+    std::size_t published = 0;
+    sim::Round rounds = 0;
+    /// Congestion (messages handled by the busiest group) with in-network
+    /// combining — the Ranade-style aggregation of Section 7.3 ...
+    std::size_t combined_congestion = 0;
+    /// ... and what the same batch would cost routed naively, one message
+    /// per publication with no combining.
+    std::size_t naive_congestion = 0;
+  };
+
+  /// The paper's aggregated publication scheme (Section 7.3): a batch with
+  /// at most O(1) publications per server routes toward each topic's home
+  /// digit by digit; messages for the same topic *combine* at every
+  /// intermediate group, so the per-group congestion stays bounded even when
+  /// every server publishes to the same topic. The home group then assigns
+  /// the consecutive indices m(k)+1.. and stores the entries.
+  AggregateReport aggregate_publish(
+      std::span<const BatchPublication> batch,
+      std::span<const sim::BlockedSet> blocked_per_round, support::Rng& rng);
+
+  /// Retrieves all publications with index > `since`.
+  FetchResult fetch_since(Topic topic, std::uint64_t since,
+                          std::span<const sim::BlockedSet> blocked_per_round,
+                          support::Rng& rng);
+
+  /// Key of the topic's publication counter m(k).
+  static RobustStore::Key counter_key(Topic topic);
+  /// Key of publication `index` of the topic.
+  static RobustStore::Key entry_key(Topic topic, std::uint64_t index);
+
+ private:
+  RobustStore* store_;
+};
+
+}  // namespace reconfnet::apps

@@ -1,0 +1,118 @@
+#include "churn/active_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/bus.hpp"
+
+namespace reconfnet::churn {
+namespace {
+
+struct Msg {
+  bool is_query = false;
+  bool forward = false;      ///< direction of the search
+  bool sender_active = false;  ///< reply: is the replying node active?
+  std::size_t next = kNoIndex;  ///< reply: the replier's current pointer
+};
+
+/// One direction of the doubling search.
+struct DirectionState {
+  std::vector<std::size_t> ptr;     ///< current pointer per node
+  std::vector<std::size_t> result;  ///< found active neighbor, or kNoIndex
+};
+
+}  // namespace
+
+std::size_t largest_empty_segment(const std::vector<std::size_t>& succ,
+                                  const std::vector<bool>& active) {
+  const std::size_t n = succ.size();
+  const auto first_active = std::find(active.begin(), active.end(), true);
+  if (first_active == active.end()) return n;
+  const auto start = static_cast<std::size_t>(
+      std::distance(active.begin(), first_active));
+  std::size_t longest = 0;
+  std::size_t run = 0;
+  std::size_t v = succ[start];
+  for (std::size_t steps = 1; steps < n; ++steps) {
+    if (active[v]) {
+      longest = std::max(longest, run);
+      run = 0;
+    } else {
+      ++run;
+    }
+    v = succ[v];
+  }
+  return std::max(longest, run);
+}
+
+ActiveSearchResult find_active_neighbors(const std::vector<std::size_t>& succ,
+                                         const std::vector<bool>& active,
+                                         int max_steps,
+                                         sim::WorkMeter* meter) {
+  const std::size_t n = succ.size();
+  if (active.size() != n) {
+    throw std::invalid_argument("find_active_neighbors: size mismatch");
+  }
+  ActiveSearchResult result;
+  result.max_empty_segment = largest_empty_segment(succ, active);
+
+  std::vector<std::size_t> pred(n, kNoIndex);
+  for (std::size_t v = 0; v < n; ++v) pred[succ[v]] = v;
+
+  DirectionState fwd{succ, std::vector<std::size_t>(n, kNoIndex)};
+  DirectionState bwd{pred, std::vector<std::size_t>(n, kNoIndex)};
+
+  const std::uint64_t query_bits = 2;
+  const std::uint64_t reply_bits = 2 + sim::id_bits(n - 1);
+
+  sim::Bus<Msg> bus(meter);
+  for (int step = 0; step < max_steps; ++step) {
+    // Query round: each node still searching asks its current pointer.
+    std::size_t queries = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (fwd.result[v] == kNoIndex) {
+        bus.send(v, fwd.ptr[v], Msg{true, true, false, kNoIndex}, query_bits);
+        ++queries;
+      }
+      if (bwd.result[v] == kNoIndex) {
+        bus.send(v, bwd.ptr[v], Msg{true, false, false, kNoIndex},
+                 query_bits);
+        ++queries;
+      }
+    }
+    if (queries == 0) break;
+    bus.step();
+    // Reply round: answer with own activity and current pointer.
+    for (std::size_t u = 0; u < n; ++u) {
+      for (const auto& envelope : bus.inbox(u)) {
+        const bool forward = envelope.payload.forward;
+        const auto& dir = forward ? fwd : bwd;
+        bus.send(u, envelope.from, Msg{false, forward, active[u], dir.ptr[u]},
+                 reply_bits);
+      }
+    }
+    bus.step();
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const auto& envelope : bus.inbox(v)) {
+        auto& dir = envelope.payload.forward ? fwd : bwd;
+        if (envelope.payload.sender_active) {
+          dir.result[v] = envelope.from;
+        } else {
+          dir.ptr[v] = envelope.payload.next;
+        }
+      }
+    }
+  }
+
+  result.rounds = bus.round();
+  result.next_active = std::move(fwd.result);
+  result.prev_active = std::move(bwd.result);
+  result.success =
+      std::none_of(result.next_active.begin(), result.next_active.end(),
+                   [](std::size_t r) { return r == kNoIndex; }) &&
+      std::none_of(result.prev_active.begin(), result.prev_active.end(),
+                   [](std::size_t r) { return r == kNoIndex; });
+  return result;
+}
+
+}  // namespace reconfnet::churn

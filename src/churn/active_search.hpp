@@ -1,0 +1,45 @@
+// Closest-active-neighbor search along an oriented Hamilton cycle by pointer
+// doubling — the mechanism behind Phase 3 of Algorithm 3. Every node holds a
+// pointer that initially references its cycle successor (resp. predecessor)
+// and repeatedly jumps to the pointer's pointer until it hits an active node.
+// Since the largest empty segment is polylogarithmic w.h.p. (Lemma 12),
+// O(log log n) doubling steps suffice.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/types.hpp"
+
+namespace reconfnet::churn {
+
+inline constexpr std::size_t kNoIndex = std::numeric_limits<std::size_t>::max();
+
+struct ActiveSearchResult {
+  bool success = false;  ///< every node found both active neighbors
+  sim::Round rounds = 0;
+  /// Closest active node following the succ orientation (kNoIndex on failure).
+  std::vector<std::size_t> next_active;
+  /// Closest active node following the pred orientation.
+  std::vector<std::size_t> prev_active;
+  /// Ground truth: size of the largest empty segment (Lemma 12 statistic).
+  std::size_t max_empty_segment = 0;
+};
+
+/// Runs the doubling search at message level for all nodes simultaneously.
+/// `succ[v]` is v's successor on the cycle; `active[v]` marks active nodes.
+/// Performs at most `max_steps` doubling steps (each costs two communication
+/// rounds: query + reply); stops early once every node is done. If no node
+/// is active the search fails. Work is accounted to `meter` if non-null.
+ActiveSearchResult find_active_neighbors(const std::vector<std::size_t>& succ,
+                                         const std::vector<bool>& active,
+                                         int max_steps,
+                                         sim::WorkMeter* meter = nullptr);
+
+/// Ground-truth largest empty segment of the cycle (for tests and stats).
+std::size_t largest_empty_segment(const std::vector<std::size_t>& succ,
+                                  const std::vector<bool>& active);
+
+}  // namespace reconfnet::churn

@@ -1,0 +1,303 @@
+#include "churn/reconfigure.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "churn/active_search.hpp"
+#include "sampling/hgraph_sampler.hpp"
+#include "sampling/plain_walk.hpp"
+#include "sim/bus.hpp"
+#include "sim/metrics.hpp"
+
+namespace reconfnet::churn {
+namespace {
+
+/// Phase 1 wire format: place `id` into cycle `cycle` at the receiver.
+struct PlaceMsg {
+  int cycle = 0;
+  sim::NodeId id = sim::kNoNode;
+};
+
+/// Phase 3 wire format: boundary element exchanged between active neighbors.
+struct BoundaryMsg {
+  int cycle = 0;
+  bool from_predecessor = false;  ///< true: sender is our closest active pred
+  sim::NodeId id = sim::kNoNode;
+};
+
+/// Phase 4 wire format: the placed id's new neighbors in `cycle`.
+struct NeighborMsg {
+  int cycle = 0;
+  sim::NodeId pred = sim::kNoNode;
+  sim::NodeId succ = sim::kNoNode;
+};
+
+ReconfigResult fail(std::string reason, sim::Round rounds,
+                    std::uint64_t work) {
+  ReconfigResult result;
+  result.success = false;
+  result.failure_reason = std::move(reason);
+  result.rounds = rounds;
+  result.max_node_bits_per_round = work;
+  return result;
+}
+
+}  // namespace
+
+ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
+  const auto& graph = *input.topology;
+  const std::size_t n = graph.size();
+  const int cycles = graph.num_cycles();
+  const std::uint64_t node_id_bits = 64;  // overlay ids on the wire
+
+  // Which ids does each old node place? Its own (unless leaving) plus every
+  // joiner introduced to it.
+  std::vector<std::vector<sim::NodeId>> placements(n);
+  std::size_t total_placed = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!input.leaving[v]) placements[v].push_back(input.members[v]);
+    for (sim::NodeId joiner : input.joiners[v]) {
+      placements[v].push_back(joiner);
+    }
+    total_placed += placements[v].size();
+  }
+  if (total_placed < 3) {
+    return fail("fewer than 3 nodes would remain", 0, 0);
+  }
+
+  sim::WorkMeter meter;
+  sim::Round rounds = 0;
+  std::uint64_t max_bits = 0;
+
+  // --- Rapid node sampling (input to Phase 1) -----------------------------
+  // Each node needs one sample per (cycle, placed id). A single primitive
+  // execution yields samples_out() samples per node; the paper runs
+  // polylogarithmically many instances in parallel, so we run as many
+  // instances as the heaviest-loaded node requires and charge rounds once
+  // (the instances share rounds) while summing their communication work.
+  const auto schedule =
+      sampling::hgraph_schedule(input.estimate, graph.degree(), input.sampling);
+  std::size_t max_needed = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    max_needed = std::max(max_needed, placements[v].size() *
+                                          static_cast<std::size_t>(cycles));
+  }
+  const std::size_t instances =
+      (max_needed + schedule.samples_out() - 1) / schedule.samples_out();
+
+  std::vector<std::vector<std::size_t>> sample_pool(n);
+  sim::Round sampling_rounds = 0;
+  if (input.use_plain_walk_sampling) {
+    // Ablation baseline: one batch of plain walks of the Lemma 2 mixing
+    // length delivers the same almost-uniform samples in Theta(log n)
+    // rounds.
+    const auto walk_length = sampling::hgraph_mixing_walk_length(
+        input.estimate.log_n_estimate() > 1
+            ? (std::size_t{1} << input.estimate.log_n_estimate())
+            : 4,
+        graph.degree(), input.sampling.alpha);
+    auto walk_rng = rng.split(0x77);
+    const auto run = sampling::run_hgraph_plain_walks(
+        graph, std::max<std::size_t>(max_needed, 1), walk_length, walk_rng);
+    sampling_rounds = run.rounds;
+    max_bits += run.max_node_bits_per_round;
+    for (std::size_t v = 0; v < n; ++v) {
+      for (auto sample : run.samples[v]) {
+        sample_pool[v].push_back(static_cast<std::size_t>(sample));
+      }
+    }
+  } else {
+    for (std::size_t instance = 0; instance < instances; ++instance) {
+      auto instance_rng = rng.split(instance);
+      const auto run = run_hgraph_sampling(graph, schedule, instance_rng);
+      sampling_rounds = std::max(sampling_rounds, run.rounds);
+      max_bits += run.max_node_bits_per_round;  // parallel instances add up
+      if (!run.success) {
+        return fail("rapid node sampling ran dry", run.rounds, max_bits);
+      }
+      for (std::size_t v = 0; v < n; ++v) {
+        sample_pool[v].insert(sample_pool[v].end(), run.samples[v].begin(),
+                              run.samples[v].end());
+      }
+    }
+  }
+  rounds += sampling_rounds;
+
+  // --- Phase 1: send ids to sampled targets (one round) --------------------
+  sim::Bus<PlaceMsg> place_bus(&meter);
+  {
+    std::vector<std::size_t> cursor(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (int c = 0; c < cycles; ++c) {
+        for (sim::NodeId id : placements[v]) {
+          if (cursor[v] >= sample_pool[v].size()) {
+            return fail("sample pool exhausted", rounds, max_bits);
+          }
+          const std::size_t target = sample_pool[v][cursor[v]++];
+          place_bus.send(v, target, PlaceMsg{c, id},
+                         node_id_bits + sim::id_bits(n - 1));
+        }
+      }
+    }
+    place_bus.step();
+    rounds += 1;
+  }
+
+  // --- Phase 2: collect and permute (local) --------------------------------
+  // permuted[c][v] = the permutation (u_1, ..., u_m) held by node v.
+  std::vector<std::vector<std::vector<sim::NodeId>>> permuted(
+      static_cast<std::size_t>(cycles));
+  for (auto& per_cycle : permuted) per_cycle.resize(n);
+  std::vector<CycleStats> cycle_stats(static_cast<std::size_t>(cycles));
+  for (std::size_t v = 0; v < n; ++v) {
+    auto node_rng = rng.split(0x1000000 + v);
+    for (const auto& envelope : place_bus.inbox(v)) {
+      permuted[static_cast<std::size_t>(envelope.payload.cycle)][v].push_back(
+          envelope.payload.id);
+    }
+    for (int c = 0; c < cycles; ++c) {
+      auto& bucket = permuted[static_cast<std::size_t>(c)][v];
+      node_rng.shuffle(std::span<sim::NodeId>(bucket));
+      auto& stats = cycle_stats[static_cast<std::size_t>(c)];
+      if (!bucket.empty()) {
+        ++stats.active_nodes;
+        stats.max_times_chosen =
+            std::max(stats.max_times_chosen, bucket.size());
+      }
+    }
+  }
+
+  // --- Phase 3a: closest-active-neighbor search (pointer doubling) ---------
+  // All cycles search in parallel; rounds are the max over cycles, work
+  // accumulates in the shared meter.
+  std::vector<ActiveSearchResult> searches;
+  searches.reserve(static_cast<std::size_t>(cycles));
+  sim::Round search_rounds = 0;
+  for (int c = 0; c < cycles; ++c) {
+    std::vector<std::size_t> succ(n);
+    std::vector<bool> active(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      succ[v] = graph.succ(c, v);
+      active[v] = !permuted[static_cast<std::size_t>(c)][v].empty();
+    }
+    auto search = find_active_neighbors(succ, active,
+                                        input.active_search_steps, &meter);
+    if (!search.success) {
+      return fail("active-neighbor search exhausted its budget",
+                  rounds + search.rounds, max_bits);
+    }
+    cycle_stats[static_cast<std::size_t>(c)].max_empty_segment =
+        search.max_empty_segment;
+    search_rounds = std::max(search_rounds, search.rounds);
+    searches.push_back(std::move(search));
+  }
+  rounds += search_rounds;
+
+  // --- Phase 3b: exchange boundary elements (one round) --------------------
+  sim::Bus<BoundaryMsg> boundary_bus(&meter);
+  for (int c = 0; c < cycles; ++c) {
+    const auto& search = searches[static_cast<std::size_t>(c)];
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto& bucket = permuted[static_cast<std::size_t>(c)][v];
+      if (bucket.empty()) continue;
+      // Our u_m goes to the closest active successor (as their u_0); our u_1
+      // goes to the closest active predecessor (as their u_{m+1}).
+      boundary_bus.send(v, search.next_active[v],
+                        BoundaryMsg{c, true, bucket.back()}, node_id_bits);
+      boundary_bus.send(v, search.prev_active[v],
+                        BoundaryMsg{c, false, bucket.front()}, node_id_bits);
+    }
+  }
+  boundary_bus.step();
+  rounds += 1;
+
+  std::vector<std::vector<sim::NodeId>> u0(static_cast<std::size_t>(cycles)),
+      u_next(static_cast<std::size_t>(cycles));
+  for (auto& per_cycle : u0) per_cycle.assign(n, sim::kNoNode);
+  for (auto& per_cycle : u_next) per_cycle.assign(n, sim::kNoNode);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const auto& envelope : boundary_bus.inbox(v)) {
+      const auto c = static_cast<std::size_t>(envelope.payload.cycle);
+      if (envelope.payload.from_predecessor) {
+        u0[c][v] = envelope.payload.id;
+      } else {
+        u_next[c][v] = envelope.payload.id;
+      }
+    }
+  }
+
+  // --- Phase 4: tell every placed id its new neighbors (one round) ---------
+  sim::Bus<NeighborMsg> neighbor_bus(&meter);
+  for (int c = 0; c < cycles; ++c) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto& bucket = permuted[static_cast<std::size_t>(c)][v];
+      if (bucket.empty()) continue;
+      const auto cs = static_cast<std::size_t>(c);
+      if (u0[cs][v] == sim::kNoNode || u_next[cs][v] == sim::kNoNode) {
+        return fail("missing boundary element", rounds, max_bits);
+      }
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const sim::NodeId pred =
+            (i == 0) ? u0[cs][v] : bucket[i - 1];
+        const sim::NodeId succ =
+            (i + 1 == bucket.size()) ? u_next[cs][v] : bucket[i + 1];
+        neighbor_bus.send(v, bucket[i], NeighborMsg{c, pred, succ},
+                          2 * node_id_bits);
+      }
+    }
+  }
+  neighbor_bus.step();
+  rounds += 1;
+
+  // --- Assemble and validate the new topology ------------------------------
+  // Collect every placed id and its successor per cycle from the Phase 4
+  // messages each id received.
+  std::unordered_map<sim::NodeId, std::size_t> new_index;
+  std::vector<sim::NodeId> new_members;
+  for (std::size_t v = 0; v < n; ++v) {
+    for (sim::NodeId id : placements[v]) {
+      if (!new_index.emplace(id, new_members.size()).second) {
+        return fail("duplicate id placement", rounds, max_bits);
+      }
+      new_members.push_back(id);
+    }
+  }
+  const std::size_t new_n = new_members.size();
+  std::vector<std::vector<std::size_t>> succ_tables(
+      static_cast<std::size_t>(cycles),
+      std::vector<std::size_t>(new_n, kNoIndex));
+  for (const auto& [id, index] : new_index) {
+    for (const auto& envelope : neighbor_bus.inbox(id)) {
+      const auto c = static_cast<std::size_t>(envelope.payload.cycle);
+      const auto succ_it = new_index.find(envelope.payload.succ);
+      if (succ_it == new_index.end()) {
+        return fail("successor references unknown id", rounds, max_bits);
+      }
+      succ_tables[c][index] = succ_it->second;
+    }
+  }
+  for (const auto& table : succ_tables) {
+    if (std::find(table.begin(), table.end(), kNoIndex) != table.end()) {
+      return fail("a placed id received no neighbors", rounds, max_bits);
+    }
+  }
+
+  ReconfigResult result;
+  try {
+    result.new_topology.emplace(new_n, std::move(succ_tables));
+  } catch (const std::invalid_argument&) {
+    return fail("assembled cycle is not Hamiltonian", rounds, max_bits);
+  }
+  result.success = true;
+  result.rounds = rounds;
+  result.max_node_bits_per_round =
+      std::max(max_bits, meter.max_node_bits_any_round());
+  result.sampling_instances = instances;
+  result.new_members = std::move(new_members);
+  result.cycle_stats = std::move(cycle_stats);
+  return result;
+}
+
+}  // namespace reconfnet::churn

@@ -1,0 +1,74 @@
+// Algorithm 3 of the paper: network reconfiguration of an H-graph. Each
+// Hamilton cycle is independently rebuilt from scratch:
+//   Phase 1  every staying node sends its id — and the ids of all new nodes
+//            introduced to it — to nodes chosen via rapid node sampling;
+//   Phase 2  every node that received ids (an *active* node) permutes them
+//            uniformly at random;
+//   Phase 3  active nodes exchange boundary elements with their closest
+//            active cycle neighbors, found by pointer doubling over the
+//            (polylogarithmic, Lemma 12) empty segments;
+//   Phase 4  every placed id is told its two neighbors in the new cycle.
+// The concatenation of the permutations around the old cycle is a uniformly
+// random Hamilton cycle over the new node set (Lemma 10), and the whole epoch
+// takes O(log log n) communication rounds (Lemma 13, Theorem 4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/hgraph.hpp"
+#include "sampling/schedule.hpp"
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::churn {
+
+/// Inputs of one reconfiguration epoch.
+struct ReconfigInput {
+  /// Current topology over dense old-member indices.
+  const graph::HGraph* topology = nullptr;
+  /// members[v] = NodeId of old index v.
+  std::vector<sim::NodeId> members;
+  /// leaving[v]: v was prescribed to leave and skips sending its own id.
+  std::vector<bool> leaving;
+  /// joiners[v] = ids of new nodes introduced to v before this epoch.
+  std::vector<std::vector<sim::NodeId>> joiners;
+  sampling::SamplingConfig sampling;
+  sampling::SizeEstimate estimate{4};
+  /// Budget of pointer-doubling steps for the Phase 3 neighbor search.
+  int active_search_steps = 16;
+  /// Ablation switch: feed Phase 1 from plain token random walks of the
+  /// Lemma 2 mixing length instead of the rapid primitive. Same sampling
+  /// distribution, Theta(log n) rounds instead of O(log log n) — the
+  /// alternative the paper's introduction dismisses as too slow.
+  bool use_plain_walk_sampling = false;
+};
+
+/// Per-cycle observations validating Lemmas 11 and 12.
+struct CycleStats {
+  std::size_t active_nodes = 0;
+  std::size_t max_times_chosen = 0;   ///< Lemma 11: polylog w.h.p.
+  std::size_t max_empty_segment = 0;  ///< Lemma 12: polylog w.h.p.
+};
+
+struct ReconfigResult {
+  bool success = false;
+  std::string failure_reason;
+  sim::Round rounds = 0;
+  std::uint64_t max_node_bits_per_round = 0;
+  std::size_t sampling_instances = 0;
+  /// Nodes woven into the new topology (stayers + joiners), by new index.
+  std::vector<sim::NodeId> new_members;
+  /// The new H-graph over new indices (present iff success).
+  std::optional<graph::HGraph> new_topology;
+  std::vector<CycleStats> cycle_stats;
+};
+
+/// Executes one full reconfiguration epoch (all d/2 cycles in parallel) at
+/// message level. On failure the caller keeps the old topology and retries;
+/// the paper's analysis makes failures w.h.p. events.
+ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng);
+
+}  // namespace reconfnet::churn

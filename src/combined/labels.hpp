@@ -1,0 +1,100 @@
+// Variable-length supernode labels for the combined churn+DoS overlay
+// (Section 6). A supernode x is a binary string (b_1, ..., b_l); splitting
+// turns x into x0 and x1, merging turns siblings x0, x1 back into x. The
+// live supernodes therefore always form the leaves of a binary tree rooted
+// at the empty string — a complete prefix-free code. Two supernodes x, y
+// with d(x) <= d(y) are connected iff the first d(x) bits of their labels
+// differ in exactly one coordinate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace reconfnet::combined {
+
+/// A supernode label: `length` coordinates, bit i-1 of `bits` holding
+/// coordinate i (the paper's b_i).
+struct Label {
+  std::uint64_t bits = 0;
+  int length = 0;
+
+  /// d(x), the paper's dimension of the supernode.
+  [[nodiscard]] int dimension() const { return length; }
+
+  /// Canonical integer encoding 2^length + bits; unique across all lengths,
+  /// usable as a hash-map key.
+  [[nodiscard]] std::uint64_t key() const {
+    return (std::uint64_t{1} << length) + bits;
+  }
+
+  /// Child with coordinate length+1 set to `bit` (the split operation maps
+  /// x to child(0) and child(1)).
+  [[nodiscard]] Label child(int bit) const {
+    if (length >= 62) throw std::invalid_argument("Label: too long");
+    return {bits | (static_cast<std::uint64_t>(bit & 1) << length),
+            length + 1};
+  }
+
+  /// The label with the last coordinate dropped (the merge target).
+  [[nodiscard]] Label parent() const {
+    if (length == 0) throw std::invalid_argument("Label: root has no parent");
+    return {bits & ~(std::uint64_t{1} << (length - 1)), length - 1};
+  }
+
+  /// The label differing only in the last coordinate.
+  [[nodiscard]] Label sibling() const {
+    if (length == 0)
+      throw std::invalid_argument("Label: root has no sibling");
+    return {bits ^ (std::uint64_t{1} << (length - 1)), length};
+  }
+
+  /// First `count` coordinates as a shorter label.
+  [[nodiscard]] Label prefix(int count) const {
+    if (count < 0 || count > length) {
+      throw std::invalid_argument("Label: bad prefix length");
+    }
+    const std::uint64_t mask =
+        count == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << count) - 1;
+    return {bits & mask, count};
+  }
+
+  /// True iff this label is a prefix of `other`.
+  [[nodiscard]] bool is_prefix_of(const Label& other) const {
+    return other.length >= length && other.prefix(length) == *this;
+  }
+
+  friend bool operator==(const Label&, const Label&) = default;
+
+  /// "0b..." rendering for diagnostics, most significant coordinate last
+  /// (coordinate order b_1 b_2 ... b_l).
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    out.reserve(static_cast<std::size_t>(length));
+    for (int i = 0; i < length; ++i) {
+      out.push_back(((bits >> i) & 1) != 0 ? '1' : '0');
+    }
+    return out.empty() ? "<root>" : out;
+  }
+};
+
+/// The paper's connectivity rule for variable-dimension supernodes: with
+/// d(x) <= d(y), x and y are connected iff the first d(x) coordinates differ
+/// in exactly one position.
+[[nodiscard]] inline bool labels_connected(const Label& x, const Label& y) {
+  const int common = x.length <= y.length ? x.length : y.length;
+  if (common == 0) return false;
+  const std::uint64_t mask = (std::uint64_t{1} << common) - 1;
+  const std::uint64_t diff = (x.bits ^ y.bits) & mask;
+  return diff != 0 && (diff & (diff - 1)) == 0;  // exactly one bit set
+}
+
+}  // namespace reconfnet::combined
+
+template <>
+struct std::hash<reconfnet::combined::Label> {
+  std::size_t operator()(const reconfnet::combined::Label& label) const {
+    return std::hash<std::uint64_t>{}(label.key());
+  }
+};

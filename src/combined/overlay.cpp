@@ -1,0 +1,396 @@
+#include "combined/overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+#include "sampling/hypercube_sampler.hpp"
+
+namespace reconfnet::combined {
+namespace {
+
+constexpr std::uint64_t kIdBits = 64;
+
+}  // namespace
+
+int CombinedOverlay::initial_dimension(std::size_t n, double group_c) {
+  // Lemma 18: the unique d with 2^d * 2cd < n <= 2^{d+1} * 2c(d+1).
+  for (int d = 1; d < 30; ++d) {
+    const double low = std::ldexp(2.0 * group_c * d, d);
+    const double high = std::ldexp(2.0 * group_c * (d + 1), d + 1);
+    if (low < static_cast<double>(n) && static_cast<double>(n) <= high) {
+      return d;
+    }
+  }
+  return 1;
+}
+
+SuperGroups CombinedOverlay::bootstrap(const Config& config,
+                                       support::Rng& rng,
+                                       sim::IdAllocator& ids) {
+  const int d = initial_dimension(config.initial_size, config.group_c);
+  const std::uint64_t count = std::uint64_t{1} << d;
+  std::vector<std::vector<sim::NodeId>> groups(count);
+  for (std::size_t i = 0; i < config.initial_size; ++i) {
+    groups[rng.below(count)].push_back(ids.allocate());
+  }
+  // A uniform assignment can leave rare outliers outside Equation (1); the
+  // enforce pass immediately after construction repairs them.
+  for (auto& members : groups) {
+    if (members.empty()) {
+      // Vanishingly rare at sane sizes: steal a node from the largest group.
+      auto largest = std::max_element(
+          groups.begin(), groups.end(),
+          [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      members.push_back(largest->back());
+      largest->pop_back();
+    }
+  }
+  auto super = SuperGroups::uniform(d, std::move(groups));
+  support::Rng enforce_rng = rng.split(42);
+  super.enforce(config.group_c, enforce_rng);
+  return super;
+}
+
+CombinedOverlay::CombinedOverlay(const Config& config)
+    : config_(config),
+      rng_(config.seed),
+      super_(bootstrap(config, rng_, ids_)) {
+  for (sim::NodeId id : super_.all_nodes()) ever_members_.insert(id);
+  edges_ = super_.overlay_edges();
+  push_snapshot();
+}
+
+void CombinedOverlay::push_snapshot() {
+  sim::TopologySnapshot snap;
+  snap.round = round_;
+  snap.nodes = super_.all_nodes();
+  snap.edges = edges_;
+  snapshots_.push(std::move(snap));
+}
+
+void CombinedOverlay::poll_churn(adversary::ChurnAdversary& churn) {
+  const auto members = super_.all_nodes();
+  std::unordered_set<sim::NodeId> member_set(members.begin(), members.end());
+  std::vector<sim::NodeId> departing(staged_leaves_.begin(),
+                                     staged_leaves_.end());
+  departing.insert(departing.end(), epoch_departing_.begin(),
+                   epoch_departing_.end());
+  adversary::ChurnView view{round_, members, departing};
+  const auto batch = churn.next(view, ids_);
+  for (const auto& [fresh, sponsor] : batch.joins) {
+    if (!member_set.contains(sponsor) || staged_leaves_.contains(sponsor)) {
+      throw std::logic_error("churn adversary violated the sponsor rule");
+    }
+    if (ever_members_.contains(fresh)) {
+      throw std::logic_error("churn adversary reused a node id");
+    }
+    ever_members_.insert(fresh);
+    staged_joins_[sponsor].push_back(fresh);
+  }
+  for (sim::NodeId leaver : batch.leaves) {
+    if (!member_set.contains(leaver)) {
+      throw std::logic_error("churn adversary removed a non-member");
+    }
+    staged_leaves_.insert(leaver);
+  }
+}
+
+void CombinedOverlay::crash(sim::NodeId node) {
+  const auto members = super_.all_nodes();
+  if (std::find(members.begin(), members.end(), node) == members.end()) {
+    throw std::invalid_argument("crash: node is not a member");
+  }
+  if (!crashed_.insert(node).second) {
+    throw std::invalid_argument("crash: node already crashed");
+  }
+  // The group emulates the crashed node's departure: it is staged to leave
+  // exactly like an announced leave, and it never communicates again.
+  staged_leaves_.insert(node);
+}
+
+void CombinedOverlay::advance_round(adversary::ChurnAdversary& churn,
+                                    const Attack& attack,
+                                    std::uint64_t state_bits,
+                                    EpochReport& report) {
+  const std::size_t n = super_.node_count();
+  sim::BlockedSet blocked;
+  if (attack.adversary != nullptr) {
+    const auto budget = static_cast<std::size_t>(
+        attack.blocked_fraction * static_cast<double>(n));
+    const auto* stale = snapshots_.stale_view(round_ - attack.lateness);
+    const auto universe = super_.all_nodes();
+    blocked = attack.adversary->choose(stale, universe, budget, round_);
+  }
+  // Crashed members are silent forever, on top of any adversary budget.
+  for (sim::NodeId node : crashed_) blocked.insert(node);
+
+  std::uint64_t max_bits = 0;
+  for (const auto& [key, entry] : super_.groups()) {
+    const auto& members = entry.second;
+    std::size_t available = 0;
+    for (sim::NodeId node : members) {
+      if (!blocked.contains(node) && !blocked_prev_.contains(node)) {
+        ++available;
+      }
+    }
+    if (available == 0) ++report.silenced_group_rounds;
+    report.min_available_fraction = std::min(
+        report.min_available_fraction,
+        static_cast<double>(available) / static_cast<double>(members.size()));
+    const std::uint64_t per_node_bits =
+        (static_cast<std::uint64_t>(members.size()) + available) * state_bits;
+    max_bits = std::max(max_bits, per_node_bits);
+  }
+  report.max_node_bits_per_round =
+      std::max(report.max_node_bits_per_round, max_bits);
+
+  if (!graph::is_connected_excluding(super_.all_nodes(), edges_,
+                                     blocked.ids())) {
+    ++report.disconnected_rounds;
+  }
+
+  poll_churn(churn);
+  blocked_prev_ = std::move(blocked);
+  ++round_;
+  ++report.rounds;
+}
+
+CombinedOverlay::EpochReport CombinedOverlay::run_epoch(
+    adversary::ChurnAdversary& churn, const Attack& attack) {
+  EpochReport report;
+
+  // Snapshot the staged churn for this epoch.
+  auto epoch_joins = std::move(staged_joins_);
+  auto epoch_leaves = std::move(staged_leaves_);
+  staged_joins_.clear();
+  staged_leaves_.clear();
+  epoch_departing_ = epoch_leaves;
+
+  // Classes: the supernodes projected onto the common prefix d_min. Every
+  // class is simulated by the union of its groups.
+  const int d_min = super_.min_dimension();
+  const std::uint64_t class_count = std::uint64_t{1} << d_min;
+  std::vector<std::vector<sim::NodeId>> class_members(class_count);
+  std::size_t join_count = 0;
+  for (const auto& [key, entry] : super_.groups()) {
+    const auto& [label, members] = entry;
+    auto& bucket = class_members[label.prefix(d_min).bits];
+    for (sim::NodeId node : members) {
+      if (epoch_leaves.contains(node)) {
+        ++report.leaves_applied;  // leavers participate but are not placed
+      } else {
+        bucket.push_back(node);
+      }
+      // A leaver still places the joiners that were introduced to it before
+      // it was prescribed to leave (Section 4's rule carries over).
+      auto it = epoch_joins.find(node);
+      if (it != epoch_joins.end()) {
+        for (sim::NodeId joiner : it->second) {
+          bucket.push_back(joiner);
+          ++join_count;
+        }
+      }
+    }
+  }
+  report.joins_applied = join_count;
+  std::size_t placed_total = 0;
+  std::size_t max_class = 0;
+  for (auto& bucket : class_members) {
+    std::sort(bucket.begin(), bucket.end());
+    placed_total += bucket.size();
+    max_class = std::max(max_class, bucket.size());
+  }
+
+  auto fail = [&](std::string reason) {
+    report.success = false;
+    report.failure_reason = std::move(reason);
+    // Re-stage the snapshot so no churn is lost.
+    for (auto& [sponsor, list] : epoch_joins) {
+      auto& dest = staged_joins_[sponsor];
+      dest.insert(dest.end(), list.begin(), list.end());
+    }
+    staged_leaves_.insert(epoch_leaves.begin(), epoch_leaves.end());
+    epoch_departing_.clear();
+    report.min_dimension = super_.min_dimension();
+    report.max_dimension = super_.max_dimension();
+    report.members_after = super_.node_count();
+    report.min_group_size = super_.min_group_size();
+    report.max_group_size = super_.max_group_size();
+    return report;
+  };
+
+  if (placed_total < 4) return fail("fewer than 4 nodes would remain");
+
+  // Schedule over the class hypercube; every class needs enough samples for
+  // all its placements.
+  const auto estimate = sampling::SizeEstimate::from_true_size(
+      std::max<std::size_t>(placed_total, 4), config_.size_estimate_slack);
+  auto sampling_config = config_.sampling;
+  const double needed_c = static_cast<double>(max_class + 1) /
+                          static_cast<double>(estimate.log_n_estimate());
+  sampling_config.c = std::max(sampling_config.c, needed_c);
+  sampling_config.beta = std::min(sampling_config.beta, sampling_config.c);
+  const auto schedule =
+      sampling::hypercube_schedule(estimate, std::max(d_min, 1),
+                                   sampling_config);
+
+  std::vector<sampling::HypercubeSamplerCore> cores;
+  std::vector<support::Rng> core_rngs;
+  auto epoch_rng = rng_.split(static_cast<std::uint64_t>(round_) + 5);
+  const int cube_dim = std::max(d_min, 1);
+  for (std::uint64_t x = 0; x < class_count; ++x) {
+    cores.emplace_back(cube_dim, x, schedule);
+    core_rngs.push_back(epoch_rng.split(x));
+    cores.back().init(core_rngs.back());
+  }
+
+  const double avg_group =
+      static_cast<double>(super_.node_count()) /
+      static_cast<double>(super_.supernode_count());
+  auto state_bits_now = [&]() -> std::uint64_t {
+    std::size_t entries = 0;
+    for (int j = 1; j <= cube_dim; ++j) entries += cores[0].block(j).size();
+    const double per_entry = static_cast<double>(cube_dim) +
+                             avg_group * static_cast<double>(kIdBits);
+    return 16 +
+           static_cast<std::uint64_t>(static_cast<double>(entries) *
+                                      per_entry) +
+           static_cast<std::uint64_t>(avg_group) * kIdBits;
+  };
+
+  for (int i = 1; i <= schedule.iterations; ++i) {
+    const auto state_bits = state_bits_now();
+    advance_round(churn, attack, state_bits, report);
+    advance_round(churn, attack, state_bits, report);
+    std::vector<std::vector<
+        std::pair<std::uint64_t, sampling::HypercubeSamplerCore::Request>>>
+        outgoing(class_count);
+    for (std::uint64_t x = 0; x < class_count; ++x) {
+      outgoing[x] = cores[x].make_requests(i, core_rngs[x]);
+    }
+    advance_round(churn, attack, state_bits, report);
+    advance_round(churn, attack, state_bits, report);
+    std::vector<std::vector<sampling::HypercubeSamplerCore::Response>>
+        responses(class_count);
+    for (std::uint64_t x = 0; x < class_count; ++x) {
+      for (const auto& [dest, request] : outgoing[x]) {
+        responses[request.requester].push_back(
+            cores[dest].serve(request, i, core_rngs[dest]));
+      }
+    }
+    for (std::uint64_t x = 0; x < class_count; ++x) {
+      cores[x].discard_consumed(i);
+    }
+    for (std::uint64_t x = 0; x < class_count; ++x) {
+      for (const auto& response : responses[x]) {
+        cores[x].accept(response, core_rngs[x]);
+      }
+    }
+  }
+
+  // Refinement round: each sampled class vertex is extended to a concrete
+  // supernode by the owning class (constant work), then four reorganization
+  // rounds as in Section 5.
+  for (int r = 0; r < 5; ++r) {
+    advance_round(churn, attack, state_bits_now(), report);
+  }
+
+  if (report.silenced_group_rounds > 0) {
+    return fail("a group was silenced");
+  }
+  std::size_t dry = 0;
+  for (const auto& core : cores) dry += core.dry_events();
+  if (dry > 0) return fail("class sampling ran dry");
+
+  // Assignment: the i-th placement of class x goes to the supernode obtained
+  // by refining the i-th sample of x.
+  std::unordered_map<std::uint64_t, std::vector<sim::NodeId>> fresh;
+  for (const auto& [key, entry] : super_.groups()) {
+    fresh.emplace(key, std::vector<sim::NodeId>{});
+  }
+  for (std::uint64_t x = 0; x < class_count; ++x) {
+    const auto& placements = class_members[x];
+    const auto& samples = cores[x].samples();
+    if (samples.size() < placements.size()) {
+      return fail("too few samples for a class");
+    }
+    auto refine_rng = epoch_rng.split(0xF000 + x);
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+      const std::uint64_t class_bits = samples[i];
+      const Label target = super_.descend([&](int depth) {
+        return depth < d_min
+                   ? static_cast<int>((class_bits >> depth) & 1)
+                   : (refine_rng.coin() ? 1 : 0);
+      });
+      fresh[target.key()].push_back(placements[i]);
+    }
+  }
+  std::vector<std::pair<Label, std::vector<sim::NodeId>>> fresh_groups;
+  fresh_groups.reserve(fresh.size());
+  for (const auto& [key, entry] : super_.groups()) {
+    auto it = fresh.find(key);
+    fresh_groups.emplace_back(entry.first, std::move(it->second));
+  }
+  try {
+    // A shrinking network can transiently empty a supernode; the enforce()
+    // pass below merges it away.
+    super_.reassign(fresh_groups, /*allow_empty=*/true);
+  } catch (const std::runtime_error& error) {
+    return fail(error.what());
+  }
+
+  // Split/merge maintenance (Equation (1)); a constant number of organized
+  // rounds per Lemma 18 — we charge two overlay rounds per sweep.
+  auto enforce_rng = epoch_rng.split(0xE000);
+  try {
+    report.split_merge = super_.enforce(config_.group_c, enforce_rng);
+  } catch (const std::runtime_error& error) {
+    return fail(error.what());
+  }
+  if (super_.min_group_size() == 0) {
+    return fail("split/merge left an empty supernode");
+  }
+  edges_ = super_.overlay_edges();
+  for (int r = 0; r < 2 * report.split_merge.sweeps; ++r) {
+    advance_round(churn, attack, state_bits_now(), report);
+  }
+  push_snapshot();
+
+  epoch_departing_.clear();
+  // Delegate joins staged during this epoch whose sponsor just left.
+  const auto member_list = super_.all_nodes();
+  std::unordered_set<sim::NodeId> member_set(member_list.begin(),
+                                             member_list.end());
+  std::vector<sim::NodeId> orphaned;
+  for (const auto& [sponsor, list] : staged_joins_) {
+    if (!member_set.contains(sponsor)) orphaned.push_back(sponsor);
+  }
+  for (sim::NodeId sponsor : orphaned) {
+    auto list = std::move(staged_joins_[sponsor]);
+    staged_joins_.erase(sponsor);
+    const sim::NodeId delegate = member_list[rng_.below(member_list.size())];
+    auto& dest = staged_joins_[delegate];
+    dest.insert(dest.end(), list.begin(), list.end());
+  }
+  for (auto it = staged_leaves_.begin(); it != staged_leaves_.end();) {
+    it = member_set.contains(*it) ? std::next(it) : staged_leaves_.erase(it);
+  }
+  // Crashed nodes that have now left the overlay need no further emulation.
+  for (auto it = crashed_.begin(); it != crashed_.end();) {
+    it = member_set.contains(*it) ? std::next(it) : crashed_.erase(it);
+  }
+
+  report.success = report.disconnected_rounds == 0;
+  if (!report.success) report.failure_reason = "disconnected";
+  report.reorganized = true;
+  report.min_dimension = super_.min_dimension();
+  report.max_dimension = super_.max_dimension();
+  report.members_after = super_.node_count();
+  report.min_group_size = super_.min_group_size();
+  report.max_group_size = super_.max_group_size();
+  return report;
+}
+
+}  // namespace reconfnet::combined

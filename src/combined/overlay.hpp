@@ -1,0 +1,126 @@
+// The combined churn+DoS-resistant overlay of Section 6: the grouped
+// hypercube of Section 5 with variable-dimension supernodes that split and
+// merge to track the churning node count (Equation (1), Lemma 18). It
+// withstands a (1/2 - eps)-bounded Omega(log log n)-late DoS adversary and
+// simultaneous adversarial churn with rate gamma^{1/Theta(log log n)}
+// (Theorem 7).
+//
+// Sampling with variable dimensions: Algorithm 2 runs over the common label
+// prefix d_min (the "classes"), then each sample is refined by one
+// constant-work round in which the owning class extends the sample uniformly
+// over its <= 4 descendant supernodes — yielding Pr[x] = 2^{-d(x)} exactly
+// (see DESIGN.md's substitution table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "adversary/churn.hpp"
+#include "adversary/dos.hpp"
+#include "combined/split_merge.hpp"
+#include "sampling/schedule.hpp"
+#include "sim/bus.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::combined {
+
+class CombinedOverlay {
+ public:
+  struct Config {
+    std::size_t initial_size = 1024;
+    /// Equation (1) constant: c*d(x) - c < |R(x)| < 2*c*d(x).
+    double group_c = 2.0;
+    sampling::SamplingConfig sampling{};
+    int size_estimate_slack = 0;
+    std::uint64_t seed = 1;
+  };
+
+  struct Attack {
+    adversary::DosAdversary* adversary = nullptr;
+    int lateness = 0;
+    double blocked_fraction = 0.0;
+  };
+
+  struct EpochReport {
+    bool success = false;
+    std::string failure_reason;
+    bool reorganized = false;
+    sim::Round rounds = 0;
+    std::size_t silenced_group_rounds = 0;
+    std::size_t disconnected_rounds = 0;
+    double min_available_fraction = 1.0;
+    /// Lemma 18 observables.
+    int min_dimension = 0;
+    int max_dimension = 0;
+    SplitMergeOps split_merge;
+    std::size_t joins_applied = 0;
+    std::size_t leaves_applied = 0;
+    std::size_t members_after = 0;
+    std::size_t min_group_size = 0;
+    std::size_t max_group_size = 0;
+    std::uint64_t max_node_bits_per_round = 0;
+  };
+
+  explicit CombinedOverlay(const Config& config);
+
+  /// One reconfiguration epoch under simultaneous churn and DoS attack.
+  /// Both adversaries act every round; churn staged during this epoch takes
+  /// effect at the end of the next one.
+  EpochReport run_epoch(adversary::ChurnAdversary& churn,
+                        const Attack& attack);
+
+  /// Crash-failure extension (Section 6's closing discussion): when crashes
+  /// are distinguishable from DoS blocking, the crashed node's group
+  /// emulates its departure. The node stops sending and receiving
+  /// permanently (it behaves as blocked in every round) and its group
+  /// stages a leave on its behalf, so it is excluded at the next epoch
+  /// boundary. Crashing a non-member or an already-crashed node throws.
+  void crash(sim::NodeId node);
+
+  [[nodiscard]] const std::unordered_set<sim::NodeId>& crashed() const {
+    return crashed_;
+  }
+
+  [[nodiscard]] const SuperGroups& supernodes() const { return super_; }
+  [[nodiscard]] std::size_t size() const { return super_.node_count(); }
+  [[nodiscard]] sim::Round round() const { return round_; }
+  [[nodiscard]] sim::IdAllocator& ids() { return ids_; }
+  [[nodiscard]] std::vector<sim::NodeId> members() const {
+    return super_.all_nodes();
+  }
+
+  /// The initial dimension for n nodes per Lemma 18: the unique d with
+  /// 2^d * 2cd < n <= 2^{d+1} * 2c(d+1).
+  static int initial_dimension(std::size_t n, double group_c);
+
+ private:
+  Config config_;
+  support::Rng rng_;
+  sim::IdAllocator ids_;
+  SuperGroups super_;
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> edges_;
+  sim::SnapshotBuffer snapshots_;
+  sim::BlockedSet blocked_prev_;
+  sim::Round round_ = 0;
+
+  std::unordered_map<sim::NodeId, std::vector<sim::NodeId>> staged_joins_;
+  std::unordered_set<sim::NodeId> staged_leaves_;
+  std::unordered_set<sim::NodeId> epoch_departing_;
+  std::unordered_set<sim::NodeId> ever_members_;
+  std::unordered_set<sim::NodeId> crashed_;
+
+  static SuperGroups bootstrap(const Config& config, support::Rng& rng,
+                               sim::IdAllocator& ids);
+
+  void push_snapshot();
+  void advance_round(adversary::ChurnAdversary& churn, const Attack& attack,
+                     std::uint64_t state_bits, EpochReport& report);
+  void poll_churn(adversary::ChurnAdversary& churn);
+};
+
+}  // namespace reconfnet::combined

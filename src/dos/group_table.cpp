@@ -1,0 +1,103 @@
+#include "dos/group_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace reconfnet::dos {
+
+GroupTable::GroupTable(int dimension,
+                       std::vector<std::vector<sim::NodeId>> groups)
+    : dimension_(dimension), groups_(std::move(groups)) {
+  if (dimension < 1 || dimension > 30) {
+    throw std::invalid_argument("GroupTable: dimension out of range");
+  }
+  if (groups_.size() != supernodes()) {
+    throw std::invalid_argument("GroupTable: need exactly 2^d groups");
+  }
+  for (std::uint64_t x = 0; x < supernodes(); ++x) {
+    auto& members = groups_[x];
+    if (members.empty()) {
+      throw std::invalid_argument("GroupTable: empty group");
+    }
+    std::sort(members.begin(), members.end());
+    for (sim::NodeId node : members) {
+      if (!node_to_supernode_.emplace(node, x).second) {
+        throw std::invalid_argument("GroupTable: node in two groups");
+      }
+    }
+  }
+}
+
+GroupTable GroupTable::random(int dimension,
+                              std::span<const sim::NodeId> nodes,
+                              support::Rng& rng) {
+  const std::uint64_t count = std::uint64_t{1} << dimension;
+  if (nodes.size() < count) {
+    throw std::invalid_argument("GroupTable: fewer nodes than supernodes");
+  }
+  std::vector<std::vector<sim::NodeId>> groups(count);
+  for (sim::NodeId node : nodes) {
+    groups[rng.below(count)].push_back(node);
+  }
+  // A supernode cannot exist without representatives; when the uniform
+  // assignment leaves a group empty (likely only for very small groups),
+  // rebalance from the largest group.
+  for (auto& members : groups) {
+    if (!members.empty()) continue;
+    auto largest = std::max_element(
+        groups.begin(), groups.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    members.push_back(largest->back());
+    largest->pop_back();
+  }
+  return GroupTable(dimension, std::move(groups));
+}
+
+std::size_t GroupTable::min_group_size() const {
+  std::size_t best = groups_.front().size();
+  for (const auto& members : groups_) best = std::min(best, members.size());
+  return best;
+}
+
+std::size_t GroupTable::max_group_size() const {
+  std::size_t best = 0;
+  for (const auto& members : groups_) best = std::max(best, members.size());
+  return best;
+}
+
+std::vector<sim::NodeId> GroupTable::all_nodes() const {
+  std::vector<sim::NodeId> nodes;
+  nodes.reserve(size());
+  for (const auto& members : groups_) {
+    nodes.insert(nodes.end(), members.begin(), members.end());
+  }
+  return nodes;
+}
+
+std::vector<std::pair<sim::NodeId, sim::NodeId>> GroupTable::overlay_edges()
+    const {
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> edges;
+  for (std::uint64_t x = 0; x < supernodes(); ++x) {
+    const auto& members = groups_[x];
+    // Clique inside the group.
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        edges.emplace_back(members[i], members[j]);
+      }
+    }
+    // Complete bipartite graph to each neighboring group (count each
+    // supernode edge once).
+    for (int bit = 0; bit < dimension_; ++bit) {
+      const std::uint64_t y = x ^ (std::uint64_t{1} << bit);
+      if (y < x) continue;
+      for (sim::NodeId a : members) {
+        for (sim::NodeId b : groups_[y]) {
+          edges.emplace_back(a, b);
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace reconfnet::dos

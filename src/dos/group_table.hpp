@@ -1,0 +1,64 @@
+// Supernode groups (Section 5): the overlay organizes its n nodes into the
+// 2^d supernodes of a d-dimensional hypercube, where each supernode x is
+// represented by a group R(x) of Theta(log n) nodes. With no node blocked,
+// each group forms a clique and neighboring groups form complete bipartite
+// graphs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::dos {
+
+class GroupTable {
+ public:
+  /// groups[x] lists the members of supernode x; members are sorted by id
+  /// internally (the protocol's tie-breaking order). Every node must appear
+  /// in exactly one group and every group must be non-empty.
+  GroupTable(int dimension, std::vector<std::vector<sim::NodeId>> groups);
+
+  /// Assigns each node to a supernode independently and uniformly at random
+  /// (the paper's initial configuration). Rare empty groups are rebalanced
+  /// from the largest group, since a supernode cannot exist without
+  /// representatives. Requires at least one node per supernode.
+  static GroupTable random(int dimension, std::span<const sim::NodeId> nodes,
+                           support::Rng& rng);
+
+  [[nodiscard]] int dimension() const { return dimension_; }
+  [[nodiscard]] std::uint64_t supernodes() const {
+    return std::uint64_t{1} << dimension_;
+  }
+  [[nodiscard]] std::size_t size() const { return node_to_supernode_.size(); }
+
+  /// Members of R(x), ascending by id.
+  [[nodiscard]] const std::vector<sim::NodeId>& group(std::uint64_t x) const {
+    return groups_[x];
+  }
+  [[nodiscard]] std::uint64_t supernode_of(sim::NodeId node) const {
+    return node_to_supernode_.at(node);
+  }
+
+  [[nodiscard]] std::size_t min_group_size() const;
+  [[nodiscard]] std::size_t max_group_size() const;
+
+  [[nodiscard]] std::vector<sim::NodeId> all_nodes() const;
+
+  /// The overlay edge set: cliques inside groups plus complete bipartite
+  /// connections between groups of adjacent supernodes. This is both what
+  /// the DoS adversary observes and what connectivity is checked on.
+  [[nodiscard]] std::vector<std::pair<sim::NodeId, sim::NodeId>>
+  overlay_edges() const;
+
+ private:
+  int dimension_;
+  std::vector<std::vector<sim::NodeId>> groups_;
+  std::unordered_map<sim::NodeId, std::uint64_t> node_to_supernode_;
+};
+
+}  // namespace reconfnet::dos

@@ -1,0 +1,104 @@
+#include "estimate/size_estimation.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/bus.hpp"
+#include "sim/metrics.hpp"
+
+namespace reconfnet::estimate {
+namespace {
+
+/// Geometric variable: leading-zero count of a fresh 64-bit draw, capped.
+int geometric_draw(support::Rng& rng) {
+  const std::uint64_t draw = rng.next();
+  return draw == 0 ? 64 : std::countl_zero(draw);
+}
+
+/// The flooded message: a node's current per-slot maxima.
+struct SketchMsg {
+  std::vector<std::uint8_t> maxima;
+};
+
+}  // namespace
+
+SizeEstimationResult estimate_size(const graph::HGraph& graph,
+                                   const SizeEstimationConfig& config,
+                                   support::Rng& rng) {
+  if (config.slots < 1) {
+    throw std::invalid_argument("estimate_size: need at least one slot");
+  }
+  const std::size_t n = graph.size();
+  const auto slots = static_cast<std::size_t>(config.slots);
+
+  // Local sketches.
+  std::vector<std::vector<std::uint8_t>> sketch(
+      n, std::vector<std::uint8_t>(slots, 0));
+  for (std::size_t v = 0; v < n; ++v) {
+    auto node_rng = rng.split(v);
+    for (std::size_t s = 0; s < slots; ++s) {
+      sketch[v][s] = static_cast<std::uint8_t>(geometric_draw(node_rng));
+    }
+  }
+
+  sim::WorkMeter meter;
+  sim::Bus<SketchMsg> bus(&meter);
+  const std::uint64_t bits_per_msg = slots * 8;
+
+  SizeEstimationResult result;
+  bool changed = true;
+  int quiet_rounds = 0;
+  for (int round = 0; round < config.max_rounds && quiet_rounds < 1;
+       ++round) {
+    // Nodes whose sketch changed last round (or everyone in round 0)
+    // re-broadcast to all neighbors; max-merge on receipt.
+    for (std::size_t v = 0; v < n; ++v) {
+      for (int port = 0; port < graph.degree(); ++port) {
+        bus.send(v, graph.neighbor(v, port), SketchMsg{sketch[v]},
+                 bits_per_msg);
+      }
+    }
+    bus.step();
+    changed = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const auto& envelope : bus.inbox(v)) {
+        for (std::size_t s = 0; s < slots; ++s) {
+          if (envelope.payload.maxima[s] > sketch[v][s]) {
+            sketch[v][s] = envelope.payload.maxima[s];
+            changed = true;
+          }
+        }
+      }
+    }
+    quiet_rounds = changed ? 0 : quiet_rounds + 1;
+  }
+  result.converged = !changed;
+  result.rounds = bus.round();
+  result.max_node_bits_per_round = meter.max_node_bits_any_round();
+
+  // Estimate: the expected slot maximum for n draws is ~ log2(n) + 0.33;
+  // averaging slots and adding the margin gives the upper bound.
+  result.log_n_upper.resize(n);
+  result.loglog_upper.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < slots; ++s) {
+      sum += static_cast<double>(sketch[v][s]);
+    }
+    const double log_n =
+        sum / static_cast<double>(slots) - 0.33 + config.margin;
+    result.log_n_upper[v] = std::max(log_n, 1.0);
+    result.loglog_upper[v] = std::max(
+        1, static_cast<int>(std::ceil(std::log2(result.log_n_upper[v]))));
+  }
+  return result;
+}
+
+sampling::SizeEstimate oracle_of(const SizeEstimationResult& result,
+                                 std::size_t node) {
+  return sampling::SizeEstimate(result.loglog_upper.at(node));
+}
+
+}  // namespace reconfnet::estimate

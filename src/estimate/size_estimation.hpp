@@ -1,0 +1,62 @@
+// Distributed network-size estimation — an extension that closes the
+// paper's Section 4 assumption. The paper grants every node an oracle upper
+// bound k on log log n (additive slack); here the nodes *compute* such a
+// bound themselves with a Flajolet–Martin-style protocol on the H-graph:
+//
+//   1. Every node draws `slots` independent geometric random variables
+//      (the number of leading zero bits of fresh 64-bit hashes).
+//   2. The per-slot maxima are flooded over the overlay edges; max-merge is
+//      idempotent, so the flood converges after diameter-many rounds
+//      (O(log n) on an expander — a bootstrap cost paid rarely, amortized
+//      over many O(log log n) reconfiguration epochs).
+//   3. Each slot's maximum estimates log2 n up to an additive constant;
+//      averaging the slots and adding a safety margin yields an upper bound
+//      on log2 n, hence k = ceil(log2(that bound)) bounds log log n.
+//
+// The result plugs directly into sampling::SizeEstimate, replacing the
+// oracle: see the EstimationFeedsSampling integration test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hgraph.hpp"
+#include "sampling/schedule.hpp"
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::estimate {
+
+struct SizeEstimationConfig {
+  /// Independent geometric sketches per node; more slots reduce the variance
+  /// of the log2 n estimate (stddev ~ 1.12 / sqrt(slots) in FM terms).
+  int slots = 16;
+  /// Additive safety margin on the log2 n estimate before taking the upper
+  /// bound (absorbs the sketch's downward fluctuations).
+  double margin = 1.0;
+  /// Hard cap on flooding rounds (the diameter is O(log n) w.h.p.; the cap
+  /// only guards against pathological inputs).
+  int max_rounds = 256;
+};
+
+struct SizeEstimationResult {
+  bool converged = false;  ///< the flood reached a global fixed point
+  sim::Round rounds = 0;
+  std::uint64_t max_node_bits_per_round = 0;
+  /// Per node: the estimate of log2 n (slot-averaged, margin applied).
+  std::vector<double> log_n_upper;
+  /// Per node: the derived upper bound k on log log n — the oracle value.
+  std::vector<int> loglog_upper;
+};
+
+/// Runs the estimation protocol at message level over the H-graph's edges.
+SizeEstimationResult estimate_size(const graph::HGraph& graph,
+                                   const SizeEstimationConfig& config,
+                                   support::Rng& rng);
+
+/// Convenience: the SizeEstimate oracle object node `v` would construct from
+/// the protocol's result.
+sampling::SizeEstimate oracle_of(const SizeEstimationResult& result,
+                                 std::size_t node);
+
+}  // namespace reconfnet::estimate

@@ -1,0 +1,48 @@
+// Connectivity checks. The paper's central correctness property is that the
+// overlay (restricted to non-blocked nodes, under DoS attack) stays connected;
+// these helpers verify it on both dense-index graphs and NodeId edge lists.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace reconfnet::graph {
+
+/// Callback enumerating the neighbors of a dense vertex index.
+using NeighborVisitor =
+    std::function<void(std::size_t v, const std::function<void(std::size_t)>&)>;
+
+/// True iff the graph over {0,...,n-1} described by `visit` is connected.
+/// n == 0 counts as connected.
+bool is_connected(std::size_t n, const NeighborVisitor& visit);
+
+/// Number of connected components of the dense-index graph.
+std::size_t count_components(std::size_t n, const NeighborVisitor& visit);
+
+/// Connectivity of a NodeId graph given as node and undirected edge lists.
+/// Edges with endpoints not present in `nodes` are ignored. An empty node set
+/// counts as connected.
+bool is_connected(std::span<const sim::NodeId> nodes,
+                  std::span<const std::pair<sim::NodeId, sim::NodeId>> edges);
+
+/// Same, but first removes `excluded` nodes (e.g. the blocked set) and all
+/// their incident edges. This is the paper's "connected under a DoS-attack":
+/// the network restricted to its non-blocked nodes is connected.
+bool is_connected_excluding(
+    std::span<const sim::NodeId> nodes,
+    std::span<const std::pair<sim::NodeId, sim::NodeId>> edges,
+    const std::unordered_set<sim::NodeId>& excluded);
+
+/// Number of connected components of a NodeId graph after removing `excluded`.
+std::size_t count_components_excluding(
+    std::span<const sim::NodeId> nodes,
+    std::span<const std::pair<sim::NodeId, sim::NodeId>> edges,
+    const std::unordered_set<sim::NodeId>& excluded);
+
+}  // namespace reconfnet::graph

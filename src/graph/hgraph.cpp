@@ -1,0 +1,71 @@
+#include "graph/hgraph.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace reconfnet::graph {
+
+std::vector<std::size_t> random_hamilton_cycle(std::size_t n,
+                                               support::Rng& rng) {
+  const std::vector<std::size_t> order = rng.permutation(n);
+  std::vector<std::size_t> succ(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    succ[order[i]] = order[(i + 1) % n];
+  }
+  return succ;
+}
+
+HGraph::HGraph(std::size_t n,
+               std::vector<std::vector<std::size_t>> successors)
+    : n_(n), succ_(std::move(successors)) {
+  if (n_ < 3) throw std::invalid_argument("HGraph: need at least 3 vertices");
+  if (succ_.empty()) throw std::invalid_argument("HGraph: need >= 1 cycle");
+  pred_.resize(succ_.size());
+  for (std::size_t c = 0; c < succ_.size(); ++c) {
+    const auto& succ_of = succ_[c];
+    if (succ_of.size() != n_) {
+      throw std::invalid_argument("HGraph: successor table size mismatch");
+    }
+    // Verify the permutation is one n-cycle while building predecessors.
+    auto& pred_of = pred_[c];
+    pred_of.assign(n_, n_);
+    std::size_t v = 0;
+    for (std::size_t steps = 0; steps < n_; ++steps) {
+      const std::size_t next = succ_of[v];
+      if (next >= n_ || pred_of[next] != n_) {
+        throw std::invalid_argument("HGraph: not a single Hamilton cycle");
+      }
+      pred_of[next] = v;
+      v = next;
+    }
+    if (v != 0) {
+      throw std::invalid_argument("HGraph: not a single Hamilton cycle");
+    }
+  }
+}
+
+HGraph HGraph::random(std::size_t n, int degree, support::Rng& rng) {
+  if (degree < 2 || degree % 2 != 0) {
+    throw std::invalid_argument("HGraph: degree must be even and >= 2");
+  }
+  std::vector<std::vector<std::size_t>> cycles;
+  cycles.reserve(static_cast<std::size_t>(degree / 2));
+  for (int c = 0; c < degree / 2; ++c) {
+    cycles.push_back(random_hamilton_cycle(n, rng));
+  }
+  return HGraph(n, std::move(cycles));
+}
+
+std::size_t HGraph::neighbor(std::size_t v, int port) const {
+  const int cycle = port / 2;
+  return (port % 2 == 0) ? succ(cycle, v) : pred(cycle, v);
+}
+
+std::vector<std::size_t> HGraph::neighbors(std::size_t v) const {
+  std::vector<std::size_t> out;
+  out.reserve(static_cast<std::size_t>(degree()));
+  for (int p = 0; p < degree(); ++p) out.push_back(neighbor(v, p));
+  return out;
+}
+
+}  // namespace reconfnet::graph

@@ -1,0 +1,61 @@
+// H-graphs (Section 2.2): undirected d-regular multigraphs formed as the
+// union of d/2 oriented Hamilton cycles over the node set. A uniformly random
+// H-graph is an expander w.h.p. (Friedman's theorem, Corollary 1 of the
+// paper), which is what makes the random-walk sampling of Sections 2.3 and 3.1
+// rapidly mixing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace reconfnet::graph {
+
+/// A d-regular multigraph over vertices {0, ..., n-1} given by d/2 oriented
+/// Hamilton cycles. Vertices are dense indices; overlays map them to NodeIds.
+class HGraph {
+ public:
+  /// Builds an H-graph from explicit successor permutations, one per cycle.
+  /// Each permutation must be a single n-cycle; throws std::invalid_argument
+  /// otherwise.
+  HGraph(std::size_t n, std::vector<std::vector<std::size_t>> successors);
+
+  /// Samples a graph uniformly from H_n: each of the d/2 Hamilton cycles is
+  /// chosen independently and uniformly at random. Requires even degree >= 2
+  /// and n >= 3 (the paper uses d >= 8; smaller degrees are allowed here for
+  /// tests). For uniformly random cycles the graph is an expander w.h.p.
+  static HGraph random(std::size_t n, int degree, support::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] int degree() const { return static_cast<int>(2 * succ_.size()); }
+  [[nodiscard]] int num_cycles() const { return static_cast<int>(succ_.size()); }
+
+  /// Successor of v in the orientation of cycle `cycle`.
+  [[nodiscard]] std::size_t succ(int cycle, std::size_t v) const {
+    return succ_[static_cast<std::size_t>(cycle)][v];
+  }
+  /// Predecessor of v in the orientation of cycle `cycle`.
+  [[nodiscard]] std::size_t pred(int cycle, std::size_t v) const {
+    return pred_[static_cast<std::size_t>(cycle)][v];
+  }
+
+  /// Neighbor of v through port p in [0, degree): even ports are successors,
+  /// odd ports are predecessors of cycle p/2. Ports enumerate the multigraph
+  /// edge endpoints at v, so a simple random walk picks a port uniformly.
+  [[nodiscard]] std::size_t neighbor(std::size_t v, int port) const;
+
+  /// All degree() neighbors of v, with multiplicity.
+  [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t v) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<std::size_t>> succ_;  // [cycle][vertex]
+  std::vector<std::vector<std::size_t>> pred_;  // [cycle][vertex]
+};
+
+/// Builds a uniformly random single Hamilton cycle as a successor permutation.
+std::vector<std::size_t> random_hamilton_cycle(std::size_t n,
+                                               support::Rng& rng);
+
+}  // namespace reconfnet::graph

@@ -1,0 +1,55 @@
+// The d-dimensional binary hypercube (Section 2.2): vertices are the binary
+// d-tuples, and two vertices are adjacent iff they differ in exactly one
+// coordinate. Used directly by the rapid sampling primitive of Section 3.2
+// and, at the supernode level, by the DoS-resistant overlay of Section 5.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace reconfnet::graph {
+
+/// Vertices are encoded as integers in [0, 2^d); bit j holds coordinate j+1
+/// in the paper's 1-indexed notation.
+class Hypercube {
+ public:
+  explicit Hypercube(int dimension) : dimension_(dimension) {
+    if (dimension < 1 || dimension > 62) {
+      throw std::invalid_argument("Hypercube: dimension out of range");
+    }
+  }
+
+  [[nodiscard]] int dimension() const { return dimension_; }
+  [[nodiscard]] std::uint64_t size() const {
+    return std::uint64_t{1} << dimension_;
+  }
+
+  /// The paper's n_j(v): v with coordinate j flipped. j is 1-indexed as in
+  /// the paper (1 <= j <= dimension).
+  [[nodiscard]] std::uint64_t flip(std::uint64_t v, int j) const {
+    if (j < 1 || j > dimension_) {
+      throw std::invalid_argument("Hypercube: coordinate out of range");
+    }
+    return v ^ (std::uint64_t{1} << (j - 1));
+  }
+
+  /// All d neighbors of v.
+  [[nodiscard]] std::vector<std::uint64_t> neighbors(std::uint64_t v) const {
+    std::vector<std::uint64_t> out;
+    out.reserve(static_cast<std::size_t>(dimension_));
+    for (int j = 1; j <= dimension_; ++j) out.push_back(flip(v, j));
+    return out;
+  }
+
+  /// Hamming distance between vertices, i.e. their hypercube distance.
+  [[nodiscard]] static int distance(std::uint64_t a, std::uint64_t b) {
+    return __builtin_popcountll(a ^ b);
+  }
+
+ private:
+  int dimension_;
+};
+
+}  // namespace reconfnet::graph

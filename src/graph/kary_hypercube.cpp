@@ -1,0 +1,83 @@
+#include "graph/kary_hypercube.hpp"
+
+#include <stdexcept>
+
+namespace reconfnet::graph {
+
+KaryHypercube::KaryHypercube(int k, int d) : k_(k), d_(d) {
+  if (k < 2 || d < 1) {
+    throw std::invalid_argument("KaryHypercube: need k >= 2 and d >= 1");
+  }
+  pow_.resize(static_cast<std::size_t>(d) + 1);
+  pow_[0] = 1;
+  for (int i = 1; i <= d; ++i) {
+    if (pow_[static_cast<std::size_t>(i - 1)] >
+        (std::uint64_t{1} << 62) / static_cast<std::uint64_t>(k)) {
+      throw std::invalid_argument("KaryHypercube: k^d too large");
+    }
+    pow_[static_cast<std::size_t>(i)] =
+        pow_[static_cast<std::size_t>(i - 1)] * static_cast<std::uint64_t>(k);
+  }
+  size_ = pow_[static_cast<std::size_t>(d)];
+}
+
+int KaryHypercube::digit(std::uint64_t v, int i) const {
+  if (i < 0 || i >= d_) {
+    throw std::invalid_argument("KaryHypercube: coordinate out of range");
+  }
+  return static_cast<int>((v / pow_[static_cast<std::size_t>(i)]) %
+                          static_cast<std::uint64_t>(k_));
+}
+
+std::uint64_t KaryHypercube::with_digit(std::uint64_t v, int i,
+                                        int value) const {
+  if (value < 0 || value >= k_) {
+    throw std::invalid_argument("KaryHypercube: digit value out of range");
+  }
+  const int old = digit(v, i);
+  const auto scale = pow_[static_cast<std::size_t>(i)];
+  return v + (static_cast<std::uint64_t>(value) - static_cast<std::uint64_t>(old)) * scale;
+}
+
+std::vector<std::uint64_t> KaryHypercube::neighbors(std::uint64_t v) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(degree()));
+  for (int i = 0; i < d_; ++i) {
+    const int current = digit(v, i);
+    for (int value = 0; value < k_; ++value) {
+      if (value != current) out.push_back(with_digit(v, i, value));
+    }
+  }
+  return out;
+}
+
+int KaryHypercube::distance(std::uint64_t a, std::uint64_t b) const {
+  int diff = 0;
+  for (int i = 0; i < d_; ++i) {
+    if (digit(a, i) != digit(b, i)) ++diff;
+  }
+  return diff;
+}
+
+std::vector<int> KaryHypercube::coordinates(std::uint64_t v) const {
+  std::vector<int> out(static_cast<std::size_t>(d_));
+  for (int i = 0; i < d_; ++i) out[static_cast<std::size_t>(i)] = digit(v, i);
+  return out;
+}
+
+std::uint64_t KaryHypercube::encode(const std::vector<int>& coords) const {
+  if (coords.size() != static_cast<std::size_t>(d_)) {
+    throw std::invalid_argument("KaryHypercube: wrong number of coordinates");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < d_; ++i) {
+    const int value = coords[static_cast<std::size_t>(i)];
+    if (value < 0 || value >= k_) {
+      throw std::invalid_argument("KaryHypercube: digit value out of range");
+    }
+    v += static_cast<std::uint64_t>(value) * pow_[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+}  // namespace reconfnet::graph

@@ -1,0 +1,52 @@
+// The d-dimensional k-ary hypercube (Definition 1, Section 7.2): vertices are
+// tuples in {0,...,k-1}^d, adjacent iff they differ in exactly one coordinate.
+// It has k^d vertices, degree (k-1)*d and diameter d, and is the substrate of
+// the robust DHT application.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reconfnet::graph {
+
+/// Vertices are encoded as base-k integers: coordinate i (0-indexed) is the
+/// i-th base-k digit.
+class KaryHypercube {
+ public:
+  /// Requires k >= 2, d >= 1 and k^d <= 2^62.
+  KaryHypercube(int k, int d);
+
+  [[nodiscard]] int arity() const { return k_; }
+  [[nodiscard]] int dimension() const { return d_; }
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] int degree() const { return (k_ - 1) * d_; }
+
+  /// Digit i (0-indexed coordinate) of vertex v.
+  [[nodiscard]] int digit(std::uint64_t v, int i) const;
+
+  /// Vertex v with coordinate i set to value (0 <= value < k).
+  [[nodiscard]] std::uint64_t with_digit(std::uint64_t v, int i,
+                                         int value) const;
+
+  /// All (k-1)*d neighbors of v.
+  [[nodiscard]] std::vector<std::uint64_t> neighbors(std::uint64_t v) const;
+
+  /// Number of coordinates in which a and b differ (routing distance).
+  [[nodiscard]] int distance(std::uint64_t a, std::uint64_t b) const;
+
+  /// Decodes v into its d coordinates.
+  [[nodiscard]] std::vector<int> coordinates(std::uint64_t v) const;
+
+  /// Encodes coordinates into a vertex id. Requires exactly d digits in
+  /// [0, k).
+  [[nodiscard]] std::uint64_t encode(const std::vector<int>& coords) const;
+
+ private:
+  int k_;
+  int d_;
+  std::uint64_t size_;
+  std::vector<std::uint64_t> pow_;  // pow_[i] = k^i
+};
+
+}  // namespace reconfnet::graph

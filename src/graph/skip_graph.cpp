@@ -1,0 +1,117 @@
+#include "graph/skip_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace reconfnet::graph {
+
+SkipGraph SkipGraph::random(std::size_t n, support::Rng& rng) {
+  SkipGraph graph;
+  graph.keys_.resize(n);
+  std::vector<std::uint64_t> membership(n);
+  std::unordered_set<std::uint64_t> used;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint64_t key = rng.next();
+    while (!used.insert(key).second) key = rng.next();
+    graph.keys_[v] = key;
+    membership[v] = rng.next();
+  }
+  graph.heights_.assign(n, 0);
+
+  // Level 0: all nodes sorted by key; level l+1 splits every list by
+  // membership bit l, preserving key order.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return graph.keys_[a] < graph.keys_[b];
+  });
+  std::vector<std::vector<std::size_t>> lists{order};
+  for (int level = 0; level < 64 && !lists.empty(); ++level) {
+    graph.links_.emplace_back(
+        n, std::make_pair(kNoSkipNode, kNoSkipNode));
+    auto& links = graph.links_.back();
+    std::vector<std::vector<std::size_t>> next;
+    for (const auto& list : lists) {
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) links[list[i]].first = list[i - 1];
+        if (i + 1 < list.size()) links[list[i]].second = list[i + 1];
+        if (list.size() >= 2) graph.heights_[list[i]] = level + 1;
+      }
+      if (list.size() < 2) continue;
+      std::vector<std::size_t> zeros, ones;
+      for (std::size_t v : list) {
+        (((membership[v] >> level) & 1) != 0 ? ones : zeros).push_back(v);
+      }
+      if (zeros.size() >= 2) next.push_back(std::move(zeros));
+      if (ones.size() >= 2) next.push_back(std::move(ones));
+    }
+    lists = std::move(next);
+  }
+  return graph;
+}
+
+std::size_t SkipGraph::left(std::size_t v, int level) const {
+  if (level < 0 || static_cast<std::size_t>(level) >= links_.size()) {
+    return kNoSkipNode;
+  }
+  return links_[static_cast<std::size_t>(level)][v].first;
+}
+
+std::size_t SkipGraph::right(std::size_t v, int level) const {
+  if (level < 0 || static_cast<std::size_t>(level) >= links_.size()) {
+    return kNoSkipNode;
+  }
+  return links_[static_cast<std::size_t>(level)][v].second;
+}
+
+std::vector<std::size_t> SkipGraph::neighbors(std::size_t v) const {
+  std::unordered_set<std::size_t> unique;
+  for (int level = 0; level < height(v); ++level) {
+    if (left(v, level) != kNoSkipNode) unique.insert(left(v, level));
+    if (right(v, level) != kNoSkipNode) unique.insert(right(v, level));
+  }
+  return {unique.begin(), unique.end()};
+}
+
+std::size_t SkipGraph::closest(std::uint64_t target) const {
+  // Largest key <= target, or the minimum-key node if none.
+  std::size_t best = kNoSkipNode;
+  std::size_t minimum = 0;
+  for (std::size_t v = 0; v < keys_.size(); ++v) {
+    if (keys_[v] < keys_[minimum]) minimum = v;
+    if (keys_[v] <= target &&
+        (best == kNoSkipNode || keys_[v] > keys_[best])) {
+      best = v;
+    }
+  }
+  return best == kNoSkipNode ? minimum : best;
+}
+
+std::vector<std::size_t> SkipGraph::route(std::size_t from,
+                                          std::uint64_t target) const {
+  std::vector<std::size_t> path;
+  std::size_t current = from;
+  for (int level = std::max(height(from) - 1, 0); level >= 0; --level) {
+    if (keys_[current] <= target) {
+      // Move right as far as possible without overshooting.
+      for (std::size_t r = right(current, level);
+           r != kNoSkipNode && keys_[r] <= target;
+           r = right(current, level)) {
+        current = r;
+        path.push_back(current);
+      }
+    } else {
+      // Move left until we are at or below the target (or hit the end).
+      for (std::size_t l = left(current, level);
+           keys_[current] > target && l != kNoSkipNode;
+           l = left(current, level)) {
+        current = l;
+        path.push_back(current);
+      }
+    }
+  }
+  return path;
+}
+
+}  // namespace reconfnet::graph

@@ -1,0 +1,67 @@
+// Skip graphs — the Section 1.2 alternative substrate. A skip graph over
+// nodes with random keys is an expander w.h.p. [Aspnes & Wieder], and
+// reconfiguration can be reduced to routing: every node draws a fresh random
+// key and routes a message to the node currently closest to it, after which
+// the old structure assembles the new one. The catch the paper leans on:
+// routing takes Theta(log n) rounds, so this reconfiguration path can never
+// beat the O(log log n) epochs of Algorithm 3. We implement the substrate
+// and its greedy routing to measure exactly that (experiment F4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace reconfnet::graph {
+
+inline constexpr std::size_t kNoSkipNode =
+    std::numeric_limits<std::size_t>::max();
+
+/// A skip graph over n nodes with uniformly random 64-bit keys and random
+/// membership vectors. Level 0 is the sorted doubly-linked list of all
+/// nodes; level l links the nodes sharing the first l membership bits.
+class SkipGraph {
+ public:
+  /// Builds with fresh random keys and membership vectors.
+  static SkipGraph random(std::size_t n, support::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] std::uint64_t key(std::size_t v) const { return keys_[v]; }
+
+  /// Number of levels node v participates in (its lists become singletons
+  /// above that).
+  [[nodiscard]] int height(std::size_t v) const {
+    return heights_[v];
+  }
+
+  /// Left/right neighbor of v in its level-l list (kNoSkipNode at the ends).
+  [[nodiscard]] std::size_t left(std::size_t v, int level) const;
+  [[nodiscard]] std::size_t right(std::size_t v, int level) const;
+
+  /// All distinct neighbors over all levels (the overlay degree).
+  [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t v) const;
+
+  /// Greedy skip-graph search from `from` toward `target`: returns the hop
+  /// path (excluding `from`, including the final node). The final node is
+  /// the member with the largest key <= target, or the smallest-key member
+  /// if target precedes every key. Each hop is one communication round.
+  [[nodiscard]] std::vector<std::size_t> route(std::size_t from,
+                                               std::uint64_t target) const;
+
+  /// Ground truth for route(): the node route must end at.
+  [[nodiscard]] std::size_t closest(std::uint64_t target) const;
+
+ private:
+  SkipGraph() = default;
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<int> heights_;
+  /// links_[l][v] = (left, right) of v in its level-l list; kNoSkipNode if v
+  /// is not in a non-trivial list at level l.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> links_;
+};
+
+}  // namespace reconfnet::graph

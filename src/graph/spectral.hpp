@@ -1,0 +1,23 @@
+// Spectral-gap estimation for d-regular multigraphs. Corollary 1 of the paper
+// states that a uniformly random H-graph satisfies |lambda_i| <= 2*sqrt(d) for
+// all i > 1 w.h.p., which makes the simple random walk rapidly mixing
+// (Lemma 2). We verify this empirically by estimating the second-largest
+// absolute eigenvalue of the adjacency matrix with deflated power iteration.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/hgraph.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::graph {
+
+/// Estimates max_{i>1} |lambda_i| of the adjacency matrix of `graph` by power
+/// iteration on the component orthogonal to the all-ones vector (the known
+/// top eigenvector of a regular graph). The estimate converges from below;
+/// `iterations` around 200 gives ~2 correct digits, plenty for the expansion
+/// check 2*sqrt(d) vs d.
+double second_eigenvalue_estimate(const HGraph& graph, support::Rng& rng,
+                                  std::size_t iterations = 200);
+
+}  // namespace reconfnet::graph

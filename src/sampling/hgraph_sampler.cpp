@@ -1,0 +1,146 @@
+#include "sampling/hgraph_sampler.hpp"
+
+#include <utility>
+
+#include "sim/bus.hpp"
+#include "sim/metrics.hpp"
+
+namespace reconfnet::sampling {
+
+HGraphSamplerCore::HGraphSamplerCore(std::size_t self, Schedule schedule,
+                                     support::Rng rng)
+    : self_(self), schedule_(std::move(schedule)), rng_(rng) {}
+
+void HGraphSamplerCore::init(const graph::HGraph& graph) {
+  m_.clear();
+  m_.reserve(schedule_.m0());
+  for (std::size_t j = 0; j < schedule_.m0(); ++j) {
+    const int port = static_cast<int>(
+        rng_.below(static_cast<std::uint64_t>(graph.degree())));
+    m_.push_back({graph.neighbor(self_, port), 1});
+  }
+}
+
+bool HGraphSamplerCore::extract(WalkEntry& out) {
+  if (m_.empty()) {
+    ++dry_events_;
+    return false;
+  }
+  const std::size_t index = static_cast<std::size_t>(rng_.below(m_.size()));
+  out = m_[index];
+  m_[index] = m_.back();
+  m_.pop_back();
+  return true;
+}
+
+std::vector<std::pair<std::size_t, HGraphSamplerCore::Request>>
+HGraphSamplerCore::make_requests(int iteration) {
+  const std::size_t count = schedule_.m[static_cast<std::size_t>(iteration)];
+  std::vector<std::pair<std::size_t, Request>> requests;
+  requests.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    WalkEntry entry;
+    if (!extract(entry)) break;
+    requests.emplace_back(entry.vertex, Request{self_, entry.length});
+  }
+  return requests;
+}
+
+HGraphSamplerCore::Response HGraphSamplerCore::serve(const Request& request) {
+  WalkEntry entry;
+  if (!extract(entry)) return {0, 0, false};
+  // Splice: the requester's walk (ending here) continued by our walk.
+  return {entry.vertex, request.requester_walk_length + entry.length, true};
+}
+
+void HGraphSamplerCore::discard_leftovers() { m_.clear(); }
+
+void HGraphSamplerCore::accept(const Response& response) {
+  if (!response.ok) {
+    ++failed_responses_;
+    return;
+  }
+  m_.push_back({response.vertex, response.length});
+}
+
+void HGraphSamplerCore::shuffle_multiset() {
+  rng_.shuffle(std::span<WalkEntry>(m_));
+}
+
+namespace {
+
+/// Wire format of the standalone driver. `kind` plus one id (the requester
+/// for requests, the sampled endpoint for responses) is charged as bits; walk
+/// lengths are validation metadata and free.
+struct WireMsg {
+  bool is_request = false;
+  HGraphSamplerCore::Request request{};
+  HGraphSamplerCore::Response response{};
+};
+
+}  // namespace
+
+HGraphSamplingResult run_hgraph_sampling(const graph::HGraph& graph,
+                                         const Schedule& schedule,
+                                         support::Rng& rng) {
+  const std::size_t n = graph.size();
+  const std::uint64_t bits_per_msg = 1 + sim::id_bits(n - 1);
+
+  std::vector<HGraphSamplerCore> cores;
+  cores.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    cores.emplace_back(v, schedule, rng.split(v));
+    cores.back().init(graph);
+  }
+
+  sim::WorkMeter meter;
+  sim::Bus<WireMsg> bus(&meter);
+
+  for (int i = 1; i <= schedule.iterations; ++i) {
+    // Phase 2: every node sends its requests.
+    for (auto& core : cores) {
+      for (auto& [dest, request] : core.make_requests(i)) {
+        bus.send(core.self(), dest, WireMsg{true, request, {}}, bits_per_msg);
+      }
+    }
+    bus.step();
+    // Phase 3: serve all requests that arrived.
+    for (auto& core : cores) {
+      for (const auto& envelope : bus.inbox(core.self())) {
+        const auto response = core.serve(envelope.payload.request);
+        bus.send(core.self(), envelope.payload.request.requester,
+                 WireMsg{false, {}, response}, bits_per_msg);
+      }
+      core.discard_leftovers();
+    }
+    bus.step();
+    // Phase 4: collect responses into the new multiset. M is semantically
+    // unordered, but bus delivery orders responses by responder index and
+    // the endpoints correlate with the responder, so re-randomize the order
+    // for downstream prefix consumers (e.g. Algorithm 3's sample pool).
+    for (auto& core : cores) {
+      for (const auto& envelope : bus.inbox(core.self())) {
+        core.accept(envelope.payload.response);
+      }
+      core.shuffle_multiset();
+    }
+  }
+
+  HGraphSamplingResult result;
+  result.rounds = bus.round();
+  result.max_node_bits_per_round = meter.max_node_bits_any_round();
+  result.samples.resize(n);
+  result.walk_lengths.resize(n);
+  result.dry_events = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    result.dry_events += cores[v].dry_events();
+    for (const auto& entry : cores[v].multiset()) {
+      result.samples[v].push_back(entry.vertex);
+      result.walk_lengths[v].push_back(entry.length);
+    }
+  }
+  result.success = result.dry_events == 0;
+  return result;
+}
+
+}  // namespace reconfnet::sampling

@@ -1,0 +1,146 @@
+#include "sampling/plain_walk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sampling/schedule.hpp"
+#include "sim/bus.hpp"
+#include "sim/metrics.hpp"
+
+namespace reconfnet::sampling {
+namespace {
+
+struct Token {
+  std::uint64_t origin = 0;
+  bool is_report = false;  ///< final hop carrying the endpoint to the origin
+};
+
+}  // namespace
+
+std::size_t hgraph_mixing_walk_length(std::size_t n, int degree,
+                                      double alpha) {
+  if (degree < 6) {
+    throw std::invalid_argument("mixing walk length: need degree >= 6");
+  }
+  const double log_base = std::log2(static_cast<double>(degree) / 4.0);
+  return static_cast<std::size_t>(std::ceil(
+      2.0 * alpha * std::log2(static_cast<double>(n)) / log_base));
+}
+
+PlainWalkResult run_hgraph_plain_walks(const graph::HGraph& graph,
+                                       std::size_t tokens_per_node,
+                                       std::size_t walk_length,
+                                       support::Rng& rng) {
+  const std::size_t n = graph.size();
+  const std::uint64_t bits = 1 + sim::id_bits(n - 1);
+
+  sim::WorkMeter meter;
+  sim::Bus<Token> bus(&meter);
+
+  // held[v] = tokens currently at node v.
+  std::vector<std::vector<Token>> held(n);
+  std::vector<support::Rng> rngs;
+  rngs.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    rngs.push_back(rng.split(v));
+    held[v].assign(tokens_per_node, Token{v, false});
+  }
+
+  PlainWalkResult result;
+  result.samples.resize(n);
+
+  for (std::size_t step = 0; step < walk_length; ++step) {
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const Token& token : held[v]) {
+        const int port = static_cast<int>(
+            rngs[v].below(static_cast<std::uint64_t>(graph.degree())));
+        bus.send(v, graph.neighbor(v, port), token, bits);
+      }
+      held[v].clear();
+    }
+    bus.step();
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const auto& envelope : bus.inbox(v)) {
+        held[v].push_back(envelope.payload);
+      }
+    }
+  }
+  // Final hop: each holder reports its own id to the token's origin.
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const Token& token : held[v]) {
+      bus.send(v, token.origin, Token{v, true}, bits);
+    }
+    held[v].clear();
+  }
+  bus.step();
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const auto& envelope : bus.inbox(v)) {
+      result.samples[v].push_back(envelope.payload.origin);
+    }
+  }
+
+  result.rounds = bus.round();
+  result.max_node_bits_per_round = meter.max_node_bits_any_round();
+  return result;
+}
+
+PlainWalkResult run_hypercube_plain_walks(const graph::Hypercube& cube,
+                                          std::size_t tokens_per_node,
+                                          support::Rng& rng) {
+  const auto n = cube.size();
+  const std::uint64_t bits = 1 + sim::id_bits(n - 1);
+
+  sim::WorkMeter meter;
+  sim::Bus<Token> bus(&meter);
+
+  std::vector<std::vector<Token>> held(n);
+  std::vector<support::Rng> rngs;
+  rngs.reserve(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    rngs.push_back(rng.split(v));
+    held[v].assign(tokens_per_node, Token{v, false});
+  }
+
+  PlainWalkResult result;
+  result.samples.resize(n);
+
+  // Round i (1-indexed): flip coordinate i with probability 1/2. A token
+  // that stays put costs no communication.
+  for (int i = 1; i <= cube.dimension(); ++i) {
+    for (std::uint64_t v = 0; v < n; ++v) {
+      std::vector<Token> staying;
+      for (const Token& token : held[v]) {
+        if (rngs[v].coin()) {
+          bus.send(v, cube.flip(v, i), token, bits);
+        } else {
+          staying.push_back(token);
+        }
+      }
+      held[v] = std::move(staying);
+    }
+    bus.step();
+    for (std::uint64_t v = 0; v < n; ++v) {
+      for (const auto& envelope : bus.inbox(v)) {
+        held[v].push_back(envelope.payload);
+      }
+    }
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (const Token& token : held[v]) {
+      bus.send(v, token.origin, Token{v, true}, bits);
+    }
+    held[v].clear();
+  }
+  bus.step();
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (const auto& envelope : bus.inbox(v)) {
+      result.samples[v].push_back(envelope.payload.origin);
+    }
+  }
+
+  result.rounds = bus.round();
+  result.max_node_bits_per_round = meter.max_node_bits_any_round();
+  return result;
+}
+
+}  // namespace reconfnet::sampling

@@ -1,0 +1,50 @@
+// Baseline node sampling via plain (non-doubled) random walks, exactly as in
+// Section 2.3 of the paper:
+//  - H-graphs: a token performs a simple random walk of length
+//    t = ceil(2 alpha log_{d/4} n); the final holder reports its id to the
+//    origin. Almost-uniform by Lemma 2. Takes Theta(log n) rounds.
+//  - Hypercube: a token walks for d rounds; in round i the holder flips a
+//    fair coin and forwards the token across dimension i on heads. Exactly
+//    uniform. Takes Theta(d) = Theta(log n) rounds.
+//
+// These baselines exist to measure the exponential round-count gap against
+// the rapid primitives of Section 3 (experiment F1) and to cross-check the
+// sampling distributions (experiment T3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/hgraph.hpp"
+#include "graph/hypercube.hpp"
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::sampling {
+
+struct PlainWalkResult {
+  sim::Round rounds = 0;
+  std::uint64_t max_node_bits_per_round = 0;
+  /// samples[v] = endpoints of the walks originated by node v.
+  std::vector<std::vector<std::uint64_t>> samples;
+};
+
+/// Every node launches `tokens_per_node` simple-random-walk tokens of length
+/// `walk_length` over the H-graph; endpoints are reported back to the origin
+/// in one final hop.
+PlainWalkResult run_hgraph_plain_walks(const graph::HGraph& graph,
+                                       std::size_t tokens_per_node,
+                                       std::size_t walk_length,
+                                       support::Rng& rng);
+
+/// The walk length Lemma 2 prescribes for almost-uniform sampling.
+std::size_t hgraph_mixing_walk_length(std::size_t n, int degree, double alpha);
+
+/// Every vertex launches `tokens_per_node` coin-flip tokens that walk the
+/// hypercube for `dimension` rounds (the classic Section 2.3 technique).
+PlainWalkResult run_hypercube_plain_walks(const graph::Hypercube& cube,
+                                          std::size_t tokens_per_node,
+                                          support::Rng& rng);
+
+}  // namespace reconfnet::sampling

@@ -1,0 +1,123 @@
+// Synchronous message bus implementing the paper's communication model
+// (Section 1.1) including the DoS blocking rule (Section 1.1, "Adversarial
+// DoS-attacks"): a message sent from v to w in round i is received iff
+//   - v is non-blocked in round i, and
+//   - w is non-blocked in rounds i and i+1.
+//
+// The bus is the single place where messages cross node boundaries, so it is
+// also where communication work is metered.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/types.hpp"
+
+namespace reconfnet::sim {
+
+/// The set of nodes blocked by the DoS adversary in one round.
+class BlockedSet {
+ public:
+  BlockedSet() = default;
+  explicit BlockedSet(std::unordered_set<NodeId> blocked)
+      : blocked_(std::move(blocked)) {}
+
+  [[nodiscard]] bool contains(NodeId node) const {
+    return blocked_.contains(node);
+  }
+  [[nodiscard]] std::size_t size() const { return blocked_.size(); }
+  [[nodiscard]] const std::unordered_set<NodeId>& ids() const {
+    return blocked_;
+  }
+
+  void insert(NodeId node) { blocked_.insert(node); }
+  void clear() { blocked_.clear(); }
+
+ private:
+  std::unordered_set<NodeId> blocked_;
+};
+
+/// A message in flight.
+template <typename Msg>
+struct Envelope {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  Msg payload{};
+};
+
+/// Synchronous message bus for one message type. A protocol round proceeds:
+///   1. read inbox(v) for every node v (messages delivered at this round),
+///   2. compute,
+///   3. send(from, to, msg, bits) for each outgoing message,
+///   4. step(blocked_now, blocked_next) to advance the round boundary.
+///
+/// step() applies the paper's blocking rule: messages from blocked senders or
+/// to receivers blocked in the sending round are dropped immediately; messages
+/// to receivers blocked in the delivery round are dropped at delivery.
+template <typename Msg>
+class Bus {
+ public:
+  explicit Bus(WorkMeter* meter = nullptr) : meter_(meter) {}
+
+  /// Queues a message from `from` to `to` in the current round. `bits` is the
+  /// wire size charged to both endpoints' communication work.
+  void send(NodeId from, NodeId to, Msg payload, std::uint64_t bits) {
+    if (meter_ != nullptr) meter_->note_sent(from, bits);
+    outbox_.push_back(
+        {Envelope<Msg>{from, to, std::move(payload)}, bits});
+  }
+
+  /// Advances the round boundary. `blocked_sending` is the adversary's
+  /// blocked set for the round that just ended; `blocked_delivery` is the
+  /// blocked set for the round about to begin.
+  void step(const BlockedSet& blocked_sending,
+            const BlockedSet& blocked_delivery) {
+    for (auto& inbox : inboxes_) inbox.second.clear();
+    for (auto& [envelope, bits] : outbox_) {
+      const bool delivered = !blocked_sending.contains(envelope.from) &&
+                             !blocked_sending.contains(envelope.to) &&
+                             !blocked_delivery.contains(envelope.to);
+      if (delivered) {
+        if (meter_ != nullptr) meter_->note_received(envelope.to, bits);
+        inboxes_[envelope.to].push_back(std::move(envelope));
+      } else if (meter_ != nullptr) {
+        meter_->note_dropped();
+      }
+    }
+    outbox_.clear();
+    if (meter_ != nullptr) meter_->finish_round(round_);
+    ++round_;
+  }
+
+  /// Convenience for protocols that run without a DoS adversary.
+  void step() {
+    static const BlockedSet kNone;
+    step(kNone, kNone);
+  }
+
+  /// Messages delivered to `node` at the start of the current round.
+  [[nodiscard]] std::span<const Envelope<Msg>> inbox(NodeId node) const {
+    auto it = inboxes_.find(node);
+    if (it == inboxes_.end()) return {};
+    return {it->second.data(), it->second.size()};
+  }
+
+  /// Index of the current round (number of step() calls so far).
+  [[nodiscard]] Round round() const { return round_; }
+
+  /// Number of messages queued in the current round so far.
+  [[nodiscard]] std::size_t pending() const { return outbox_.size(); }
+
+ private:
+  std::vector<std::pair<Envelope<Msg>, std::uint64_t>> outbox_;
+  std::unordered_map<NodeId, std::vector<Envelope<Msg>>> inboxes_;
+  WorkMeter* meter_;
+  Round round_ = 0;
+};
+
+}  // namespace reconfnet::sim

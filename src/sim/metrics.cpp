@@ -1,0 +1,55 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace reconfnet::sim {
+
+void WorkMeter::note_sent(NodeId node, std::uint64_t bits) {
+  auto& work = current_[node];
+  work.bits_sent += bits;
+  ++work.messages_sent;
+}
+
+void WorkMeter::note_received(NodeId node, std::uint64_t bits) {
+  auto& work = current_[node];
+  work.bits_received += bits;
+  ++work.messages_received;
+}
+
+void WorkMeter::note_dropped() { ++current_dropped_; }
+
+void WorkMeter::finish_round(Round round) {
+  RoundWork agg;
+  agg.round = round;
+  agg.dropped_messages = current_dropped_;
+  for (const auto& [node, work] : current_) {
+    agg.max_node_bits = std::max(agg.max_node_bits, work.bits_total());
+    agg.total_bits += work.bits_total();
+    agg.total_messages += work.messages_received;
+  }
+  history_.push_back(agg);
+  current_.clear();
+  current_dropped_ = 0;
+}
+
+std::uint64_t WorkMeter::max_node_bits_any_round() const {
+  std::uint64_t best = 0;
+  for (const auto& round_work : history_) {
+    best = std::max(best, round_work.max_node_bits);
+  }
+  return best;
+}
+
+std::uint64_t WorkMeter::total_bits() const {
+  std::uint64_t total = 0;
+  for (const auto& round_work : history_) total += round_work.total_bits;
+  return total;
+}
+
+void WorkMeter::clear() {
+  current_.clear();
+  current_dropped_ = 0;
+  history_.clear();
+}
+
+}  // namespace reconfnet::sim

@@ -1,0 +1,70 @@
+// Communication-work accounting. The paper measures the communication work of
+// a node in a round as the total number of bits it sends and receives, and all
+// its theorems bound the worst case over nodes per round; these meters record
+// exactly that.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace reconfnet::sim {
+
+/// Per-node communication counters for a single round.
+struct NodeWork {
+  std::uint64_t bits_sent = 0;
+  std::uint64_t bits_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+
+  [[nodiscard]] std::uint64_t bits_total() const {
+    return bits_sent + bits_received;
+  }
+};
+
+/// Aggregated view of one finished round.
+struct RoundWork {
+  Round round = 0;
+  std::uint64_t max_node_bits = 0;    ///< max over nodes of bits sent+received
+  std::uint64_t total_bits = 0;       ///< sum over nodes
+  std::uint64_t total_messages = 0;   ///< messages delivered
+  std::uint64_t dropped_messages = 0; ///< lost to blocking
+};
+
+/// Collects per-node work within the current round and a per-round history.
+/// Protocol drivers call note_sent/note_received during a round and
+/// finish_round() at the round boundary.
+class WorkMeter {
+ public:
+  void note_sent(NodeId node, std::uint64_t bits);
+  void note_received(NodeId node, std::uint64_t bits);
+  void note_dropped();
+
+  /// Closes the current round: aggregates counters into the history and
+  /// resets the per-node state.
+  void finish_round(Round round);
+
+  [[nodiscard]] const std::vector<RoundWork>& history() const {
+    return history_;
+  }
+
+  /// Maximum over all finished rounds of the per-node per-round bit count.
+  [[nodiscard]] std::uint64_t max_node_bits_any_round() const;
+
+  /// Total bits over all finished rounds.
+  [[nodiscard]] std::uint64_t total_bits() const;
+
+  /// Number of finished rounds.
+  [[nodiscard]] std::size_t rounds() const { return history_.size(); }
+
+  void clear();
+
+ private:
+  std::unordered_map<NodeId, NodeWork> current_;
+  std::uint64_t current_dropped_ = 0;
+  std::vector<RoundWork> history_;
+};
+
+}  // namespace reconfnet::sim

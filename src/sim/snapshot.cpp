@@ -1,0 +1,24 @@
+#include "sim/snapshot.hpp"
+
+#include <algorithm>
+
+namespace reconfnet::sim {
+
+SnapshotBuffer::SnapshotBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+void SnapshotBuffer::push(TopologySnapshot snapshot) {
+  buffer_.push_back(std::move(snapshot));
+  while (buffer_.size() > capacity_) buffer_.pop_front();
+}
+
+const TopologySnapshot* SnapshotBuffer::stale_view(Round round) const {
+  // Snapshots are pushed in ascending round order; find the last one with
+  // snapshot.round <= round.
+  auto it = std::upper_bound(
+      buffer_.begin(), buffer_.end(), round,
+      [](Round r, const TopologySnapshot& snap) { return r < snap.round; });
+  if (it == buffer_.begin()) return nullptr;
+  return &*std::prev(it);
+}
+
+}  // namespace reconfnet::sim

@@ -1,0 +1,44 @@
+// Topology snapshots for t-late DoS adversaries (Section 1.1). The adversary
+// may only see the overlay's topology — never node state or message contents —
+// and only as it was at least t rounds ago. The simulator records a snapshot
+// per round and serves the adversary the freshest snapshot that is old enough.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace reconfnet::sim {
+
+/// What a DoS adversary is allowed to observe: the node set and the edge set
+/// of the overlay graph at some round. Edges are undirected and deduplicated.
+struct TopologySnapshot {
+  Round round = 0;
+  std::vector<NodeId> nodes;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+};
+
+/// Ring buffer of per-round snapshots with bounded memory.
+class SnapshotBuffer {
+ public:
+  /// Keeps at most `capacity` snapshots (old ones are evicted).
+  explicit SnapshotBuffer(std::size_t capacity = 256);
+
+  void push(TopologySnapshot snapshot);
+
+  /// The freshest snapshot taken at or before `round`, or nullptr if none is
+  /// retained that old. A t-late adversary acting at round r is served
+  /// stale_view(r - t).
+  [[nodiscard]] const TopologySnapshot* stale_view(Round round) const;
+
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TopologySnapshot> buffer_;  // ascending round order
+};
+
+}  // namespace reconfnet::sim

@@ -1,0 +1,46 @@
+// Fundamental identifiers for the synchronous message-passing model
+// (Section 1.1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace reconfnet::sim {
+
+/// Globally unique node identifier. The paper requires ids of size O(log n)
+/// that are never reused (every id enters and leaves the system at most once);
+/// we model them as monotonically allocated 64-bit integers.
+using NodeId = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Round counter of the synchronous model. Each round consists of
+/// (1) receive, (2) local computation, (3) send.
+using Round = std::int64_t;
+
+/// Allocates fresh node ids; ids are never reused, matching the paper's
+/// assumption that every id can be used at most once.
+class IdAllocator {
+ public:
+  explicit IdAllocator(NodeId first = 0) : next_(first) {}
+
+  NodeId allocate() { return next_++; }
+
+  /// Number of ids handed out so far.
+  [[nodiscard]] NodeId allocated() const { return next_; }
+
+ private:
+  NodeId next_;
+};
+
+/// Number of bits needed to encode one node id in a system whose id space has
+/// been populated up to `max_id`. Used for communication-work accounting in
+/// bits, as the paper defines communication work.
+[[nodiscard]] constexpr std::uint64_t id_bits(NodeId max_id) {
+  std::uint64_t bits = 1;
+  while ((max_id >> bits) != 0) ++bits;
+  return bits;
+}
+
+}  // namespace reconfnet::sim

@@ -1,0 +1,39 @@
+// Minimal fixed-width table printer for the bench harnesses. Keeps all bench
+// binaries printing in one consistent, diff-friendly format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace reconfnet::support {
+
+/// Collects rows of string cells and prints them with aligned columns.
+///
+/// Usage:
+///   Table t({"n", "rounds", "success"});
+///   t.add_row({"1024", "11", "1.000"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string num(double value, int precision = 3);
+  /// Formats an integer.
+  static std::string num(std::int64_t value);
+  static std::string num(std::uint64_t value);
+  static std::string num(int value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace reconfnet::support

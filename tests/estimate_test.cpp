@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "estimate/size_estimation.hpp"
+#include "graph/hgraph.hpp"
+#include "sampling/hgraph_sampler.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::estimate {
+namespace {
+
+TEST(SizeEstimation, ConvergesAndAllNodesAgree) {
+  support::Rng rng(1);
+  const auto g = graph::HGraph::random(256, 8, rng);
+  const auto result = estimate_size(g, {}, rng);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.rounds, 0);
+  // Max-flooding reaches a global fixed point: every node holds the same
+  // estimate.
+  for (std::size_t v = 1; v < 256; ++v) {
+    EXPECT_DOUBLE_EQ(result.log_n_upper[v], result.log_n_upper[0]);
+    EXPECT_EQ(result.loglog_upper[v], result.loglog_upper[0]);
+  }
+}
+
+class SizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SizeSweep, EstimateTracksTrueSize) {
+  const std::size_t n = GetParam();
+  support::Rng rng(n * 13 + 1);
+  const auto g = graph::HGraph::random(n, 8, rng);
+  SizeEstimationConfig config;
+  config.slots = 32;
+  const auto result = estimate_size(g, config, rng);
+  ASSERT_TRUE(result.converged);
+  const double true_log = std::log2(static_cast<double>(n));
+  // The slot-averaged maximum estimates log2 n within ~±2 at 32 slots.
+  EXPECT_NEAR(result.log_n_upper[0], true_log, 2.5) << "n=" << n;
+  // The derived k must be a sound upper bound on log log n up to the
+  // paper's additive constant slack.
+  EXPECT_GE(result.loglog_upper[0],
+            static_cast<int>(std::floor(std::log2(true_log))) - 1);
+  EXPECT_LE(result.loglog_upper[0],
+            static_cast<int>(std::ceil(std::log2(true_log))) + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(64u, 256u, 1024u, 4096u));
+
+TEST(SizeEstimation, RoundsTrackDiameter) {
+  // Flooding needs diameter+1 rounds; on a degree-8 expander the diameter is
+  // O(log n) with a small constant.
+  support::Rng rng(3);
+  const auto g = graph::HGraph::random(1024, 8, rng);
+  const auto result = estimate_size(g, {}, rng);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LE(result.rounds, 12);
+}
+
+TEST(SizeEstimation, MoreSlotsReduceSpread) {
+  // Run many graphs; the estimate spread with 64 slots must be no larger
+  // than with 4 slots (variance reduction).
+  auto spread = [](int slots) {
+    double lo = 1e9, hi = -1e9;
+    for (int run = 0; run < 8; ++run) {
+      support::Rng rng(100 + static_cast<std::uint64_t>(run));
+      const auto g = graph::HGraph::random(512, 8, rng);
+      SizeEstimationConfig config;
+      config.slots = slots;
+      auto est_rng = rng.split(9);
+      const auto result = estimate_size(g, config, est_rng);
+      lo = std::min(lo, result.log_n_upper[0]);
+      hi = std::max(hi, result.log_n_upper[0]);
+    }
+    return hi - lo;
+  };
+  EXPECT_LE(spread(64), spread(4) + 0.5);
+}
+
+TEST(SizeEstimation, RejectsInvalidConfig) {
+  support::Rng rng(5);
+  const auto g = graph::HGraph::random(32, 8, rng);
+  SizeEstimationConfig config;
+  config.slots = 0;
+  EXPECT_THROW(estimate_size(g, config, rng), std::invalid_argument);
+}
+
+TEST(SizeEstimation, EstimationFeedsSampling) {
+  // End-to-end: replace the Section 4 oracle with the protocol's output and
+  // run Algorithm 1 with it — the schedule must still succeed.
+  support::Rng rng(7);
+  const std::size_t n = 256;
+  const auto g = graph::HGraph::random(n, 8, rng);
+  SizeEstimationConfig est_config;
+  est_config.slots = 32;
+  est_config.margin = 2.0;  // generous upper bound, as the paper assumes
+  const auto estimation = estimate_size(g, est_config, rng);
+  ASSERT_TRUE(estimation.converged);
+
+  sampling::SamplingConfig config;
+  config.c = 2.0;
+  const auto schedule =
+      sampling::hgraph_schedule(oracle_of(estimation, 0), 8, config);
+  auto run_rng = rng.split(11);
+  const auto result = sampling::run_hgraph_sampling(g, schedule, run_rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_GE(result.samples.front().size(), schedule.samples_out());
+}
+
+}  // namespace
+}  // namespace reconfnet::estimate

@@ -1,0 +1,255 @@
+// Tests of the full message-level Section 5 group simulation (node_sim) and
+// its cross-validation against the group-level fast path in DosOverlay.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dos/group_table.hpp"
+#include "dos/node_sim.hpp"
+#include "dos/overlay.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace reconfnet::dos {
+namespace {
+
+GroupTable make_groups(std::size_t n, int dimension, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<sim::NodeId> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) nodes[i] = i;
+  return GroupTable::random(dimension, nodes, rng);
+}
+
+TEST(NodeLevelEpoch, QuietEpochSucceedsAndReorganizes) {
+  const auto groups = make_groups(128, 3, 1);
+  support::Rng rng(2);
+  const auto report = run_node_level_epoch(groups, {}, {}, rng);
+  ASSERT_TRUE(report.success) << report.failure_reason;
+  EXPECT_TRUE(report.knowledge_consistent);
+  EXPECT_EQ(report.silenced_group_rounds, 0u);
+  EXPECT_EQ(report.resyncs, 0u);  // nobody was ever blocked
+  ASSERT_TRUE(report.new_groups.has_value());
+  EXPECT_EQ(report.new_groups->size(), 128u);
+  // The assignment actually changed: most nodes moved supernode.
+  std::size_t moved = 0;
+  for (sim::NodeId id = 0; id < 128; ++id) {
+    if (report.new_groups->supernode_of(id) != groups.supernode_of(id)) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 64u);
+}
+
+TEST(NodeLevelEpoch, RoundCountMatchesProtocol) {
+  // d = 4: the sampler runs I = 2 iterations -> P = 2I+1 = 5 primitive
+  // rounds -> 10 overlay rounds, plus 4 reorganization rounds.
+  const auto groups = make_groups(128, 4, 3);
+  support::Rng rng(4);
+  const auto report = run_node_level_epoch(groups, {}, {}, rng);
+  ASSERT_TRUE(report.success) << report.failure_reason;
+  EXPECT_EQ(report.rounds, 14);
+}
+
+TEST(NodeLevelEpoch, CommunicationWorkIsMetered) {
+  const auto groups = make_groups(128, 3, 5);
+  support::Rng rng(6);
+  const auto report = run_node_level_epoch(groups, {}, {}, rng);
+  ASSERT_TRUE(report.success);
+  EXPECT_GT(report.max_node_bits_per_round, 0u);
+}
+
+TEST(NodeLevelEpoch, SurvivesRandomBlockingAndResyncs) {
+  const auto groups = make_groups(256, 3, 7);  // groups of ~32
+  support::Rng rng(8);
+  // 25% of nodes blocked per round, independently per round: nodes drop out
+  // and rejoin constantly, exercising the state-broadcast resync path.
+  std::vector<sim::BlockedSet> blocked(40);
+  for (auto& set : blocked) {
+    for (sim::NodeId node = 0; node < 256; ++node) {
+      if (rng.bernoulli(0.25)) set.insert(node);
+    }
+  }
+  const auto report = run_node_level_epoch(groups, {}, blocked, rng);
+  ASSERT_TRUE(report.success) << report.failure_reason;
+  EXPECT_TRUE(report.knowledge_consistent);
+  EXPECT_GT(report.resyncs, 0u);
+  EXPECT_EQ(report.new_groups->size(), 256u);
+}
+
+TEST(NodeLevelEpoch, SilencedGroupIsDetected) {
+  const auto groups = make_groups(64, 3, 9);
+  support::Rng rng(10);
+  // Block every member of group 0 for two consecutive rounds mid-protocol.
+  sim::BlockedSet wipe;
+  for (sim::NodeId id : groups.group(0)) wipe.insert(id);
+  std::vector<sim::BlockedSet> blocked(6);
+  blocked[3] = wipe;
+  blocked[4] = wipe;
+  const auto report = run_node_level_epoch(groups, {}, blocked, rng);
+  EXPECT_FALSE(report.success);
+  EXPECT_GT(report.silenced_group_rounds, 0u);
+}
+
+TEST(NodeLevelEpoch, DeterministicGivenSeed) {
+  const auto groups = make_groups(128, 3, 11);
+  support::Rng a(77), b(77);
+  const auto ra = run_node_level_epoch(groups, {}, {}, a);
+  const auto rb = run_node_level_epoch(groups, {}, {}, b);
+  ASSERT_TRUE(ra.success);
+  ASSERT_TRUE(rb.success);
+  for (sim::NodeId id = 0; id < 128; ++id) {
+    EXPECT_EQ(ra.new_groups->supernode_of(id),
+              rb.new_groups->supernode_of(id));
+  }
+}
+
+TEST(NodeLevelEpoch, BlockingChangesTheWinnerButNotConsistency) {
+  // Block the lowest-id member of every group during simulation rounds: the
+  // lowest-id *available* node's candidate wins instead, and the replicas
+  // must still agree.
+  const auto groups = make_groups(128, 3, 12);
+  sim::BlockedSet lowest;
+  for (std::uint64_t x = 0; x < groups.supernodes(); ++x) {
+    lowest.insert(groups.group(x).front());
+  }
+  std::vector<sim::BlockedSet> blocked(30, lowest);
+  support::Rng rng(13);
+  const auto report = run_node_level_epoch(groups, {}, blocked, rng);
+  ASSERT_TRUE(report.success) << report.failure_reason;
+  EXPECT_TRUE(report.knowledge_consistent);
+}
+
+TEST(NodeLevelEpoch, CrossValidatesWithGroupLevelFastPath) {
+  // The node-level protocol and DosOverlay's group-level fast path are two
+  // implementations of the same reorganization. Run both from statistically
+  // identical starting points and compare the *distributional* outcome:
+  // both succeed, keep every node, and produce group sizes in the same
+  // concentration band.
+  const std::size_t n = 256;
+  const int d = 4;
+
+  const auto groups = make_groups(n, d, 14);
+  support::Rng rng(15);
+  const auto node_level = run_node_level_epoch(groups, {}, {}, rng);
+  ASSERT_TRUE(node_level.success) << node_level.failure_reason;
+
+  DosOverlay::Config config;
+  config.size = n;
+  config.group_c = static_cast<double>(n >> d) /
+                   8.0;  // match the dimension choice approximately
+  config.seed = 16;
+  DosOverlay overlay(config);
+  const auto group_level = overlay.run_epoch({});
+  ASSERT_TRUE(group_level.success) << group_level.failure_reason;
+
+  // Same node count, no losses, and comparable size concentration.
+  EXPECT_EQ(node_level.new_groups->size(), n);
+  const double avg_node = static_cast<double>(n) /
+                          static_cast<double>(node_level.new_groups->supernodes());
+  EXPECT_GT(static_cast<double>(node_level.new_groups->min_group_size()),
+            0.15 * avg_node);
+  EXPECT_LT(static_cast<double>(node_level.new_groups->max_group_size()),
+            3.0 * avg_node);
+  const double avg_group_level =
+      static_cast<double>(n) /
+      static_cast<double>(overlay.groups().supernodes());
+  EXPECT_GT(static_cast<double>(group_level.min_group_size),
+            0.15 * avg_group_level);
+  EXPECT_LT(static_cast<double>(group_level.max_group_size),
+            3.0 * avg_group_level);
+}
+
+TEST(NodeLevelEpoch, NewAssignmentLooksUniform) {
+  // Aggregate assignments over several epochs: each (node, supernode) cell
+  // should be hit uniformly.
+  const std::size_t n = 128;
+  const int d = 3;
+  std::vector<std::uint64_t> counts(std::size_t{1} << d, 0);
+  for (int run = 0; run < 6; ++run) {
+    const auto groups = make_groups(n, d, 20 + static_cast<std::uint64_t>(run));
+    support::Rng rng(30 + static_cast<std::uint64_t>(run));
+    const auto report = run_node_level_epoch(groups, {}, {}, rng);
+    ASSERT_TRUE(report.success);
+    for (sim::NodeId id = 0; id < n; ++id) {
+      ++counts[report.new_groups->supernode_of(id)];
+    }
+  }
+  EXPECT_GT(support::chi_square_uniform(counts).p_value, 1e-4);
+}
+
+// Failure-injection sweep: structured blocking patterns targeting specific
+// protocol phases. The protocol must either succeed with consistent
+// replicas or detect the violation — never silently mis-reorganize.
+class BlockPatternSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockPatternSweep, DetectOrSurvive) {
+  const int pattern = GetParam();
+  const auto groups = make_groups(192, 3, 50 + static_cast<std::uint64_t>(pattern));
+  support::Rng rng(60 + static_cast<std::uint64_t>(pattern));
+  std::vector<sim::BlockedSet> blocked(40);
+  const auto block_node = [&](std::size_t round, sim::NodeId id) {
+    if (round < blocked.size()) blocked[round].insert(id);
+  };
+  switch (pattern) {
+    case 0:  // block only even (simulation) rounds, 30% random
+      for (std::size_t r = 0; r < blocked.size(); r += 2) {
+        for (sim::NodeId id = 0; id < 192; ++id) {
+          if (rng.bernoulli(0.3)) block_node(r, id);
+        }
+      }
+      break;
+    case 1:  // block only odd (synchronization) rounds, 30% random
+      for (std::size_t r = 1; r < blocked.size(); r += 2) {
+        for (sim::NodeId id = 0; id < 192; ++id) {
+          if (rng.bernoulli(0.3)) block_node(r, id);
+        }
+      }
+      break;
+    case 2:  // persistently block the two lowest ids of every group
+      for (std::size_t r = 0; r < blocked.size(); ++r) {
+        for (std::uint64_t x = 0; x < groups.supernodes(); ++x) {
+          const auto& members = groups.group(x);
+          block_node(r, members[0]);
+          if (members.size() > 1) block_node(r, members[1]);
+        }
+      }
+      break;
+    case 3:  // block the reorganization rounds only (the tail of the epoch)
+      for (std::size_t r = 10; r < 14; ++r) {
+        for (sim::NodeId id = 0; id < 192; ++id) {
+          if (rng.bernoulli(0.3)) block_node(r, id);
+        }
+      }
+      break;
+    case 4:  // alternate halves of every group: half blocked in even
+             // rounds, the other half in odd rounds
+      for (std::size_t r = 0; r < blocked.size(); ++r) {
+        for (std::uint64_t x = 0; x < groups.supernodes(); ++x) {
+          const auto& members = groups.group(x);
+          for (std::size_t i = 0; i < members.size(); ++i) {
+            if ((i % 2 == 0) == (r % 2 == 0)) block_node(r, members[i]);
+          }
+        }
+      }
+      break;
+    default:
+      FAIL();
+  }
+  auto run_rng = rng.split(1);
+  const auto report = run_node_level_epoch(groups, {}, blocked, run_rng);
+  if (report.success) {
+    EXPECT_TRUE(report.knowledge_consistent);
+    EXPECT_EQ(report.new_groups->size(), 192u);
+  } else {
+    // Detection, never silent corruption.
+    EXPECT_FALSE(report.failure_reason.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, BlockPatternSweep,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace reconfnet::dos

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/bus.hpp"
+#include "sim/metrics.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/types.hpp"
+
+namespace reconfnet::sim {
+namespace {
+
+TEST(IdAllocator, NeverReusesIds) {
+  IdAllocator ids;
+  const NodeId a = ids.allocate();
+  const NodeId b = ids.allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ids.allocated(), 2u);
+}
+
+TEST(IdBits, MatchesBinaryLength) {
+  EXPECT_EQ(id_bits(0), 1u);
+  EXPECT_EQ(id_bits(1), 1u);
+  EXPECT_EQ(id_bits(2), 2u);
+  EXPECT_EQ(id_bits(255), 8u);
+  EXPECT_EQ(id_bits(256), 9u);
+}
+
+TEST(Bus, DeliversNextRound) {
+  Bus<int> bus;
+  bus.send(1, 2, 42, 64);
+  EXPECT_TRUE(bus.inbox(2).empty());  // not delivered within sending round
+  bus.step();
+  ASSERT_EQ(bus.inbox(2).size(), 1u);
+  EXPECT_EQ(bus.inbox(2)[0].from, 1u);
+  EXPECT_EQ(bus.inbox(2)[0].payload, 42);
+  EXPECT_TRUE(bus.inbox(1).empty());
+}
+
+TEST(Bus, InboxClearedEachRound) {
+  Bus<int> bus;
+  bus.send(1, 2, 1, 8);
+  bus.step();
+  EXPECT_EQ(bus.inbox(2).size(), 1u);
+  bus.step();
+  EXPECT_TRUE(bus.inbox(2).empty());
+}
+
+TEST(Bus, DistinctMessagesToDistinctReceivers) {
+  Bus<std::string> bus;
+  bus.send(1, 2, "to2", 8);
+  bus.send(1, 3, "to3", 8);
+  bus.step();
+  ASSERT_EQ(bus.inbox(2).size(), 1u);
+  ASSERT_EQ(bus.inbox(3).size(), 1u);
+  EXPECT_EQ(bus.inbox(2)[0].payload, "to2");
+  EXPECT_EQ(bus.inbox(3)[0].payload, "to3");
+}
+
+TEST(Bus, BlockedSenderDropsMessage) {
+  Bus<int> bus;
+  BlockedSet sending;
+  sending.insert(1);
+  bus.send(1, 2, 7, 8);
+  bus.step(sending, BlockedSet{});
+  EXPECT_TRUE(bus.inbox(2).empty());
+}
+
+TEST(Bus, ReceiverBlockedInSendingRoundDropsMessage) {
+  Bus<int> bus;
+  BlockedSet sending;
+  sending.insert(2);
+  bus.send(1, 2, 7, 8);
+  bus.step(sending, BlockedSet{});
+  EXPECT_TRUE(bus.inbox(2).empty());
+}
+
+TEST(Bus, ReceiverBlockedInDeliveryRoundDropsMessage) {
+  Bus<int> bus;
+  BlockedSet delivery;
+  delivery.insert(2);
+  bus.send(1, 2, 7, 8);
+  bus.step(BlockedSet{}, delivery);
+  EXPECT_TRUE(bus.inbox(2).empty());
+}
+
+TEST(Bus, UnblockedEndpointsDeliver) {
+  Bus<int> bus;
+  BlockedSet sending;
+  sending.insert(99);  // unrelated node
+  BlockedSet delivery;
+  delivery.insert(98);
+  bus.send(1, 2, 7, 8);
+  bus.step(sending, delivery);
+  EXPECT_EQ(bus.inbox(2).size(), 1u);
+}
+
+TEST(Bus, RoundCounterAdvances) {
+  Bus<int> bus;
+  EXPECT_EQ(bus.round(), 0);
+  bus.step();
+  bus.step();
+  EXPECT_EQ(bus.round(), 2);
+}
+
+TEST(Bus, MetersBitsOnBothEndpoints) {
+  WorkMeter meter;
+  Bus<int> bus(&meter);
+  bus.send(1, 2, 5, 100);
+  bus.send(2, 1, 6, 50);
+  bus.step();
+  ASSERT_EQ(meter.history().size(), 1u);
+  const auto& round_work = meter.history()[0];
+  // Node 1: sent 100 + received 50 = 150; node 2: 50 + 100 = 150.
+  EXPECT_EQ(round_work.max_node_bits, 150u);
+  EXPECT_EQ(round_work.total_bits, 300u);
+  EXPECT_EQ(round_work.total_messages, 2u);
+  EXPECT_EQ(round_work.dropped_messages, 0u);
+}
+
+TEST(Bus, MetersDroppedMessages) {
+  WorkMeter meter;
+  Bus<int> bus(&meter);
+  BlockedSet sending;
+  sending.insert(1);
+  bus.send(1, 2, 5, 100);
+  bus.step(sending, BlockedSet{});
+  ASSERT_EQ(meter.history().size(), 1u);
+  EXPECT_EQ(meter.history()[0].dropped_messages, 1u);
+  // Sender is still charged for the send attempt.
+  EXPECT_EQ(meter.history()[0].max_node_bits, 100u);
+}
+
+TEST(WorkMeter, TracksMaxAcrossRounds) {
+  WorkMeter meter;
+  meter.note_sent(1, 10);
+  meter.finish_round(0);
+  meter.note_sent(1, 30);
+  meter.note_received(1, 5);
+  meter.finish_round(1);
+  EXPECT_EQ(meter.max_node_bits_any_round(), 35u);
+  EXPECT_EQ(meter.total_bits(), 45u);
+  EXPECT_EQ(meter.rounds(), 2u);
+  meter.clear();
+  EXPECT_EQ(meter.rounds(), 0u);
+}
+
+TEST(SnapshotBuffer, ServesStaleViews) {
+  SnapshotBuffer buffer(4);
+  for (Round r = 0; r < 6; ++r) {
+    TopologySnapshot snap;
+    snap.round = r;
+    snap.nodes = {static_cast<NodeId>(r)};
+    buffer.push(std::move(snap));
+  }
+  // Capacity 4 keeps rounds 2..5.
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.stale_view(5)->round, 5);
+  EXPECT_EQ(buffer.stale_view(3)->round, 3);
+  EXPECT_EQ(buffer.stale_view(100)->round, 5);
+  EXPECT_EQ(buffer.stale_view(1), nullptr);
+}
+
+TEST(SnapshotBuffer, TLateSemantics) {
+  // A t-late adversary acting at round r sees stale_view(r - t): topology
+  // that is at least t rounds old.
+  SnapshotBuffer buffer;
+  TopologySnapshot snap;
+  snap.round = 10;
+  buffer.push(snap);
+  const Round now = 17;
+  const Round lateness = 5;
+  const auto* view = buffer.stale_view(now - lateness);
+  ASSERT_NE(view, nullptr);
+  EXPECT_GE(now - view->round, lateness);
+}
+
+}  // namespace
+}  // namespace reconfnet::sim

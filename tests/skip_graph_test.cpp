@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "graph/skip_graph.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::graph {
+namespace {
+
+TEST(SkipGraph, LevelZeroIsTheSortedList) {
+  support::Rng rng(1);
+  const auto g = SkipGraph::random(64, rng);
+  // Walk level 0 from the minimum-key node: visits everyone in key order.
+  std::size_t start = 0;
+  for (std::size_t v = 1; v < 64; ++v) {
+    if (g.key(v) < g.key(start)) start = v;
+  }
+  std::size_t current = start;
+  std::size_t visited = 1;
+  while (g.right(current, 0) != kNoSkipNode) {
+    const std::size_t next = g.right(current, 0);
+    EXPECT_GT(g.key(next), g.key(current));
+    EXPECT_EQ(g.left(next, 0), current);
+    current = next;
+    ++visited;
+  }
+  EXPECT_EQ(visited, 64u);
+}
+
+TEST(SkipGraph, HeightsAreLogarithmic) {
+  support::Rng rng(2);
+  const auto g = SkipGraph::random(1024, rng);
+  int max_height = 0;
+  for (std::size_t v = 0; v < 1024; ++v) {
+    max_height = std::max(max_height, g.height(v));
+  }
+  // Expected max height ~ log2 n + O(1); generous envelope.
+  EXPECT_GE(max_height, 8);
+  EXPECT_LE(max_height, 30);
+}
+
+TEST(SkipGraph, DegreeIsLogarithmic) {
+  support::Rng rng(3);
+  const auto g = SkipGraph::random(1024, rng);
+  std::size_t max_degree = 0;
+  for (std::size_t v = 0; v < 1024; ++v) {
+    max_degree = std::max(max_degree, g.neighbors(v).size());
+  }
+  EXPECT_LE(max_degree, 60u);  // 2 per level, ~log n levels
+  EXPECT_GE(max_degree, 10u);
+}
+
+TEST(SkipGraph, IsConnected) {
+  support::Rng rng(4);
+  const auto g = SkipGraph::random(512, rng);
+  EXPECT_TRUE(is_connected(
+      g.size(), [&](std::size_t v, const std::function<void(std::size_t)>& f) {
+        for (auto w : g.neighbors(v)) f(w);
+      }));
+}
+
+class SkipRouteSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SkipRouteSweep, GreedyRouteReachesClosestKey) {
+  const std::size_t n = GetParam();
+  support::Rng rng(n * 7 + 5);
+  const auto g = SkipGraph::random(n, rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto from = static_cast<std::size_t>(rng.below(n));
+    const std::uint64_t target = rng.next();
+    const auto path = g.route(from, target);
+    const std::size_t arrived = path.empty() ? from : path.back();
+    EXPECT_EQ(arrived, g.closest(target))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SkipRouteSweep,
+                         ::testing::Values(4u, 32u, 256u, 1024u));
+
+TEST(SkipGraph, RouteLengthIsLogarithmic) {
+  support::Rng rng(6);
+  const std::size_t n = 2048;
+  const auto g = SkipGraph::random(n, rng);
+  std::size_t max_hops = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto from = static_cast<std::size_t>(rng.below(n));
+    const auto path = g.route(from, rng.next());
+    max_hops = std::max(max_hops, path.size());
+  }
+  // O(log n) w.h.p.; generous envelope of 4 log2 n.
+  EXPECT_LE(static_cast<double>(max_hops),
+            4.0 * std::log2(static_cast<double>(n)));
+}
+
+TEST(SkipGraph, RouteToOwnKeyStaysPut) {
+  support::Rng rng(7);
+  const auto g = SkipGraph::random(64, rng);
+  for (std::size_t v = 0; v < 64; ++v) {
+    const auto path = g.route(v, g.key(v));
+    EXPECT_TRUE(path.empty());
+  }
+}
+
+}  // namespace
+}  // namespace reconfnet::graph

@@ -1,0 +1,384 @@
+// reconfnet_sim — command-line driver for the reconfnet scenarios.
+//
+//   reconfnet_sim churn    [--n 256] [--epochs 8] [--turnover 0.02]
+//                          [--growth 1.0] [--rate 2.0]
+//                          [--adversary uniform|segment|flood|burst|none]
+//   reconfnet_sim dos      [--n 1024] [--epochs 4] [--blocked 0.35]
+//                          [--lateness 40] [--group-c 2.0] [--static]
+//                          [--adversary random|isolation|groupwipe|none]
+//   reconfnet_sim combined [--n 1024] [--epochs 4] [--turnover 0.005]
+//                          [--growth 1.0] [--blocked 0.25] [--lateness 60]
+//                          [--group-c 2.0]
+//   reconfnet_sim sample   [--n 1024] [--graph hgraph|hypercube]
+//                          [--eps 1.0] [--c 2.0] [--plain]
+//   reconfnet_sim estimate [--n 1024] [--slots 32]
+//
+// Common: [--seed <u64>]. Exit code 0 iff the scenario met its guarantee.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/churn.hpp"
+#include "adversary/dos.hpp"
+#include "churn/overlay.hpp"
+#include "churn/reconfigure.hpp"
+#include "combined/overlay.hpp"
+#include "dos/overlay.hpp"
+#include "estimate/size_estimation.hpp"
+#include "graph/hgraph.hpp"
+#include "graph/hypercube.hpp"
+#include "sampling/hgraph_sampler.hpp"
+#include "sampling/hypercube_sampler.hpp"
+#include "sampling/plain_walk.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace reconfnet;
+
+/// Tiny flag parser: --key value pairs plus boolean switches.
+class Args {
+ public:
+  Args(int argc, char** argv, const std::vector<std::string>& switches) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --flag, got: " + key);
+      }
+      key = key.substr(2);
+      const bool is_switch =
+          std::find(switches.begin(), switches.end(), key) != switches.end();
+      if (is_switch) {
+        values_[key] = "1";
+      } else {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("missing value for --" + key);
+        }
+        values_[key] = argv[++i];
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoi(it->second);
+  }
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.contains(key);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int run_churn(const Args& args) {
+  churn::ChurnOverlay::Config config;
+  config.initial_size = args.get_size("n", 256);
+  config.degree = args.get_int("degree", 8);
+  config.sampling.c = args.get_double("c", 2.0);
+  config.seed = args.get_size("seed", 1);
+  churn::ChurnOverlay overlay(config);
+
+  support::Rng rng(config.seed + 1);
+  const double turnover = args.get_double("turnover", 0.02);
+  const double growth = args.get_double("growth", 1.0);
+  const double rate = args.get_double("rate", 2.0);
+  const std::string kind = args.get_string("adversary", "uniform");
+  std::unique_ptr<adversary::ChurnAdversary> adversary;
+  adversary::SegmentChurn* segment = nullptr;
+  if (kind == "uniform") {
+    adversary =
+        std::make_unique<adversary::UniformChurn>(turnover, growth, rate, rng);
+  } else if (kind == "segment") {
+    auto owned = std::make_unique<adversary::SegmentChurn>(turnover, rate, rng);
+    segment = owned.get();
+    adversary = std::move(owned);
+  } else if (kind == "flood") {
+    adversary =
+        std::make_unique<adversary::SponsorFloodChurn>(turnover, rate, rng);
+  } else if (kind == "burst") {
+    adversary = std::make_unique<adversary::BurstChurn>(turnover, rate,
+                                                        7, rng);
+  } else if (kind == "none") {
+    adversary = std::make_unique<adversary::NoChurn>();
+  } else {
+    throw std::invalid_argument("unknown churn adversary: " + kind);
+  }
+
+  support::Table table({"epoch", "ok", "members", "joins", "leaves", "rounds",
+                        "connected"});
+  const int epochs = args.get_int("epochs", 8);
+  int failures = 0;
+  bool disconnected = false;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    if (segment != nullptr) segment->set_order(overlay.cycle_order(0));
+    const auto report = overlay.run_epoch(*adversary);
+    failures += report.success ? 0 : 1;
+    disconnected |= !report.connected;
+    table.add_row(
+        {support::Table::num(epoch), report.success ? "yes" : "no",
+         support::Table::num(static_cast<std::uint64_t>(report.members_after)),
+         support::Table::num(static_cast<std::uint64_t>(report.joins_applied)),
+         support::Table::num(
+             static_cast<std::uint64_t>(report.leaves_applied)),
+         support::Table::num(report.rounds),
+         report.connected ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\n" << (disconnected ? "DISCONNECTED" : "connected throughout")
+            << ", " << failures << "/" << epochs << " epochs retried\n";
+  return disconnected ? EXIT_FAILURE : EXIT_SUCCESS;
+}
+
+std::unique_ptr<adversary::DosAdversary> make_dos_adversary(
+    const std::string& kind, support::Rng rng) {
+  if (kind == "random") return std::make_unique<adversary::RandomDos>(rng);
+  if (kind == "isolation") {
+    return std::make_unique<adversary::IsolationDos>(rng);
+  }
+  if (kind == "groupwipe") {
+    return std::make_unique<adversary::GroupWipeDos>(rng);
+  }
+  if (kind == "none") return std::make_unique<adversary::NoDos>();
+  throw std::invalid_argument("unknown DoS adversary: " + kind);
+}
+
+int run_dos(const Args& args) {
+  dos::DosOverlay::Config config;
+  config.size = args.get_size("n", 1024);
+  config.group_c = args.get_double("group-c", 2.0);
+  config.seed = args.get_size("seed", 1);
+  dos::DosOverlay overlay(config);
+
+  auto adversary = make_dos_adversary(args.get_string("adversary", "random"),
+                                      support::Rng(config.seed + 1));
+  dos::DosOverlay::Attack attack;
+  attack.adversary = adversary.get();
+  attack.blocked_fraction = args.get_double("blocked", 0.35);
+  attack.lateness = args.get_int("lateness", 40);
+
+  std::cout << "grouped hypercube: d=" << overlay.dimension() << ", "
+            << overlay.groups().supernodes() << " groups of ~"
+            << overlay.size() / overlay.groups().supernodes() << "\n\n";
+
+  support::Table table({"epoch", "ok", "silenced", "disconnected",
+                        "min_avail", "grp_min", "grp_max"});
+  const int epochs = args.get_int("epochs", 4);
+  std::size_t disconnected = 0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const auto report = args.has("static")
+                            ? overlay.run_static(attack, 16)
+                            : overlay.run_epoch(attack);
+    disconnected += report.disconnected_rounds;
+    table.add_row(
+        {support::Table::num(epoch), report.success ? "yes" : "no",
+         support::Table::num(
+             static_cast<std::uint64_t>(report.silenced_group_rounds)),
+         support::Table::num(
+             static_cast<std::uint64_t>(report.disconnected_rounds)),
+         support::Table::num(report.min_available_fraction, 3),
+         support::Table::num(
+             static_cast<std::uint64_t>(report.min_group_size)),
+         support::Table::num(
+             static_cast<std::uint64_t>(report.max_group_size))});
+  }
+  table.print(std::cout);
+  std::cout << "\n"
+            << (disconnected == 0 ? "non-blocked nodes stayed connected"
+                                  : "DISCONNECTED")
+            << "\n";
+  return disconnected == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+int run_combined(const Args& args) {
+  combined::CombinedOverlay::Config config;
+  config.initial_size = args.get_size("n", 1024);
+  config.group_c = args.get_double("group-c", 2.0);
+  config.seed = args.get_size("seed", 1);
+  combined::CombinedOverlay overlay(config);
+
+  support::Rng rng(config.seed + 1);
+  adversary::UniformChurn churn(args.get_double("turnover", 0.005),
+                                args.get_double("growth", 1.0), 4.0, rng);
+  auto dos_adversary = make_dos_adversary(
+      args.get_string("adversary", "isolation"), support::Rng(config.seed + 2));
+  combined::CombinedOverlay::Attack attack;
+  attack.adversary = dos_adversary.get();
+  attack.blocked_fraction = args.get_double("blocked", 0.25);
+  attack.lateness = args.get_int("lateness", 60);
+
+  support::Table table({"epoch", "ok", "members", "dims", "splits", "merges",
+                        "disconnected"});
+  const int epochs = args.get_int("epochs", 4);
+  std::size_t disconnected = 0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const auto report = overlay.run_epoch(churn, attack);
+    disconnected += report.disconnected_rounds;
+    table.add_row(
+        {support::Table::num(epoch), report.success ? "yes" : "no",
+         support::Table::num(
+             static_cast<std::uint64_t>(report.members_after)),
+         support::Table::num(report.min_dimension) + ".." +
+             support::Table::num(report.max_dimension),
+         support::Table::num(report.split_merge.splits),
+         support::Table::num(report.split_merge.merges),
+         support::Table::num(
+             static_cast<std::uint64_t>(report.disconnected_rounds))});
+  }
+  table.print(std::cout);
+  std::cout << "\n"
+            << (disconnected == 0 ? "non-blocked nodes stayed connected"
+                                  : "DISCONNECTED")
+            << "\n";
+  return disconnected == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+int run_sample(const Args& args) {
+  const std::size_t n = args.get_size("n", 1024);
+  const std::uint64_t seed = args.get_size("seed", 1);
+  support::Rng rng(seed);
+  sampling::SamplingConfig config;
+  config.epsilon = args.get_double("eps", 1.0);
+  config.c = args.get_double("c", 2.0);
+  const auto estimate = sampling::SizeEstimate::from_true_size(n);
+
+  const std::string graph_kind = args.get_string("graph", "hgraph");
+  support::Table table(
+      {"graph", "mode", "rounds", "samples/node", "success", "max_kbits"});
+  if (graph_kind == "hgraph") {
+    const auto g = graph::HGraph::random(n, 8, rng);
+    if (args.has("plain")) {
+      const auto walk = sampling::hgraph_mixing_walk_length(n, 8, 1.0);
+      auto run_rng = rng.split(1);
+      const auto result =
+          sampling::run_hgraph_plain_walks(g, 8, walk, run_rng);
+      table.add_row({"hgraph", "plain", support::Table::num(result.rounds),
+                     "8", "yes",
+                     support::Table::num(
+                         static_cast<double>(result.max_node_bits_per_round) /
+                             1000.0,
+                         1)});
+    } else {
+      const auto schedule = sampling::hgraph_schedule(estimate, 8, config);
+      auto run_rng = rng.split(1);
+      const auto result = sampling::run_hgraph_sampling(g, schedule, run_rng);
+      table.add_row(
+          {"hgraph", "rapid", support::Table::num(result.rounds),
+           support::Table::num(
+               static_cast<std::uint64_t>(result.samples.front().size())),
+           result.success ? "yes" : "NO",
+           support::Table::num(
+               static_cast<double>(result.max_node_bits_per_round) / 1000.0,
+               1)});
+    }
+  } else if (graph_kind == "hypercube") {
+    const int d = sampling::ceil_log2(n);
+    const graph::Hypercube cube(d);
+    if (args.has("plain")) {
+      auto run_rng = rng.split(1);
+      const auto result = sampling::run_hypercube_plain_walks(cube, 8, run_rng);
+      table.add_row({"hypercube", "plain",
+                     support::Table::num(result.rounds), "8", "yes",
+                     support::Table::num(
+                         static_cast<double>(result.max_node_bits_per_round) /
+                             1000.0,
+                         1)});
+    } else {
+      const auto schedule = sampling::hypercube_schedule(estimate, d, config);
+      auto run_rng = rng.split(1);
+      const auto result =
+          sampling::run_hypercube_sampling(cube, schedule, run_rng);
+      table.add_row(
+          {"hypercube", "rapid", support::Table::num(result.rounds),
+           support::Table::num(
+               static_cast<std::uint64_t>(result.samples.front().size())),
+           result.success ? "yes" : "NO",
+           support::Table::num(
+               static_cast<double>(result.max_node_bits_per_round) / 1000.0,
+               1)});
+    }
+  } else {
+    throw std::invalid_argument("unknown graph kind: " + graph_kind);
+  }
+  table.print(std::cout);
+  return EXIT_SUCCESS;
+}
+
+int run_estimate(const Args& args) {
+  const std::size_t n = args.get_size("n", 1024);
+  support::Rng rng(args.get_size("seed", 1));
+  const auto g = graph::HGraph::random(n, 8, rng);
+  estimate::SizeEstimationConfig config;
+  config.slots = args.get_int("slots", 32);
+  const auto result = estimate::estimate_size(g, config, rng);
+  std::cout << "n=" << n << " log2(n)=" << std::log2(static_cast<double>(n))
+            << " estimate=" << result.log_n_upper[0]
+            << " k(loglog upper)=" << result.loglog_upper[0]
+            << " rounds=" << result.rounds
+            << " converged=" << (result.converged ? "yes" : "no") << "\n";
+  return result.converged ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+void usage() {
+  std::cout <<
+      R"(reconfnet_sim <command> [--flag value ...]
+
+commands:
+  churn      churn-resistant H-graph overlay       (--n --epochs --turnover
+             --growth --rate --adversary uniform|segment|flood|burst|none)
+  dos        DoS-resistant grouped hypercube       (--n --epochs --blocked
+             --lateness --group-c --static
+             --adversary random|isolation|groupwipe|none)
+  combined   churn + DoS with split/merge          (--n --epochs --turnover
+             --growth --blocked --lateness --group-c)
+  sample     one run of the sampling primitive     (--n --graph
+             hgraph|hypercube --eps --c --plain)
+  estimate   distributed size estimation           (--n --slots)
+
+common: --seed <u64>
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return EXIT_FAILURE;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, {"static", "plain"});
+    if (command == "churn") return run_churn(args);
+    if (command == "dos") return run_dos(args);
+    if (command == "combined") return run_combined(args);
+    if (command == "sample") return run_sample(args);
+    if (command == "estimate") return run_estimate(args);
+    usage();
+    return EXIT_FAILURE;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
