@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_groupsize.dir/bench_ablation_groupsize.cpp.o"
+  "CMakeFiles/bench_ablation_groupsize.dir/bench_ablation_groupsize.cpp.o.d"
+  "bench_ablation_groupsize"
+  "bench_ablation_groupsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_groupsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anonymizer.dir/bench_anonymizer.cpp.o"
+  "CMakeFiles/bench_anonymizer.dir/bench_anonymizer.cpp.o.d"
+  "bench_anonymizer"
+  "bench_anonymizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anonymizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

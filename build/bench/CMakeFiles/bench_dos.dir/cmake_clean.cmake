@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dos.dir/bench_dos.cpp.o"
+  "CMakeFiles/bench_dos.dir/bench_dos.cpp.o.d"
+  "bench_dos"
+  "bench_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconfig_structure.dir/bench_reconfig_structure.cpp.o"
+  "CMakeFiles/bench_reconfig_structure.dir/bench_reconfig_structure.cpp.o.d"
+  "bench_reconfig_structure"
+  "bench_reconfig_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconfig_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

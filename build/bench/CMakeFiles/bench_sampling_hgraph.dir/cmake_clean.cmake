@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sampling_hgraph.dir/bench_sampling_hgraph.cpp.o"
+  "CMakeFiles/bench_sampling_hgraph.dir/bench_sampling_hgraph.cpp.o.d"
+  "bench_sampling_hgraph"
+  "bench_sampling_hgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampling_hgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sampling_rounds.dir/bench_sampling_rounds.cpp.o"
+  "CMakeFiles/bench_sampling_rounds.dir/bench_sampling_rounds.cpp.o.d"
+  "bench_sampling_rounds"
+  "bench_sampling_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampling_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

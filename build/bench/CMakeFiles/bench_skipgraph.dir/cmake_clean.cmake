@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skipgraph.dir/bench_skipgraph.cpp.o"
+  "CMakeFiles/bench_skipgraph.dir/bench_skipgraph.cpp.o.d"
+  "bench_skipgraph"
+  "bench_skipgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skipgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_messaging.dir/anonymous_messaging.cpp.o"
+  "CMakeFiles/anonymous_messaging.dir/anonymous_messaging.cpp.o.d"
+  "anonymous_messaging"
+  "anonymous_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_resilient_p2p.dir/churn_resilient_p2p.cpp.o"
+  "CMakeFiles/churn_resilient_p2p.dir/churn_resilient_p2p.cpp.o.d"
+  "churn_resilient_p2p"
+  "churn_resilient_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_resilient_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

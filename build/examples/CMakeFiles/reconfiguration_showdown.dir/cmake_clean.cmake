@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfiguration_showdown.dir/reconfiguration_showdown.cpp.o"
+  "CMakeFiles/reconfiguration_showdown.dir/reconfiguration_showdown.cpp.o.d"
+  "reconfiguration_showdown"
+  "reconfiguration_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfiguration_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

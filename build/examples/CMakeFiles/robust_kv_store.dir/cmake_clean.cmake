@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_kv_store.dir/robust_kv_store.cpp.o"
+  "CMakeFiles/robust_kv_store.dir/robust_kv_store.cpp.o.d"
+  "robust_kv_store"
+  "robust_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/churn_adversaries.cpp" "src/CMakeFiles/reconfnet.dir/adversary/churn_adversaries.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/adversary/churn_adversaries.cpp.o.d"
+  "/root/repo/src/adversary/dos_adversaries.cpp" "src/CMakeFiles/reconfnet.dir/adversary/dos_adversaries.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/adversary/dos_adversaries.cpp.o.d"
+  "/root/repo/src/apps/anonym/anonymizer.cpp" "src/CMakeFiles/reconfnet.dir/apps/anonym/anonymizer.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/apps/anonym/anonymizer.cpp.o.d"
+  "/root/repo/src/apps/dht/kary_overlay.cpp" "src/CMakeFiles/reconfnet.dir/apps/dht/kary_overlay.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/apps/dht/kary_overlay.cpp.o.d"
+  "/root/repo/src/apps/dht/robust_store.cpp" "src/CMakeFiles/reconfnet.dir/apps/dht/robust_store.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/apps/dht/robust_store.cpp.o.d"
+  "/root/repo/src/apps/pubsub/pubsub.cpp" "src/CMakeFiles/reconfnet.dir/apps/pubsub/pubsub.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/apps/pubsub/pubsub.cpp.o.d"
+  "/root/repo/src/churn/active_search.cpp" "src/CMakeFiles/reconfnet.dir/churn/active_search.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/churn/active_search.cpp.o.d"
+  "/root/repo/src/churn/overlay.cpp" "src/CMakeFiles/reconfnet.dir/churn/overlay.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/churn/overlay.cpp.o.d"
+  "/root/repo/src/churn/reconfigure.cpp" "src/CMakeFiles/reconfnet.dir/churn/reconfigure.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/churn/reconfigure.cpp.o.d"
+  "/root/repo/src/combined/overlay.cpp" "src/CMakeFiles/reconfnet.dir/combined/overlay.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/combined/overlay.cpp.o.d"
+  "/root/repo/src/combined/split_merge.cpp" "src/CMakeFiles/reconfnet.dir/combined/split_merge.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/combined/split_merge.cpp.o.d"
+  "/root/repo/src/dos/group_table.cpp" "src/CMakeFiles/reconfnet.dir/dos/group_table.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/dos/group_table.cpp.o.d"
+  "/root/repo/src/dos/node_sim.cpp" "src/CMakeFiles/reconfnet.dir/dos/node_sim.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/dos/node_sim.cpp.o.d"
+  "/root/repo/src/dos/overlay.cpp" "src/CMakeFiles/reconfnet.dir/dos/overlay.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/dos/overlay.cpp.o.d"
+  "/root/repo/src/estimate/size_estimation.cpp" "src/CMakeFiles/reconfnet.dir/estimate/size_estimation.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/estimate/size_estimation.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/reconfnet.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/hgraph.cpp" "src/CMakeFiles/reconfnet.dir/graph/hgraph.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/graph/hgraph.cpp.o.d"
+  "/root/repo/src/graph/kary_hypercube.cpp" "src/CMakeFiles/reconfnet.dir/graph/kary_hypercube.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/graph/kary_hypercube.cpp.o.d"
+  "/root/repo/src/graph/skip_graph.cpp" "src/CMakeFiles/reconfnet.dir/graph/skip_graph.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/graph/skip_graph.cpp.o.d"
+  "/root/repo/src/graph/spectral.cpp" "src/CMakeFiles/reconfnet.dir/graph/spectral.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/graph/spectral.cpp.o.d"
+  "/root/repo/src/sampling/hgraph_sampler.cpp" "src/CMakeFiles/reconfnet.dir/sampling/hgraph_sampler.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/sampling/hgraph_sampler.cpp.o.d"
+  "/root/repo/src/sampling/hypercube_sampler.cpp" "src/CMakeFiles/reconfnet.dir/sampling/hypercube_sampler.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/sampling/hypercube_sampler.cpp.o.d"
+  "/root/repo/src/sampling/plain_walk.cpp" "src/CMakeFiles/reconfnet.dir/sampling/plain_walk.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/sampling/plain_walk.cpp.o.d"
+  "/root/repo/src/sampling/schedule.cpp" "src/CMakeFiles/reconfnet.dir/sampling/schedule.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/sampling/schedule.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/reconfnet.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/snapshot.cpp" "src/CMakeFiles/reconfnet.dir/sim/snapshot.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/sim/snapshot.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/reconfnet.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/reconfnet.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/reconfnet.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/reconfnet.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

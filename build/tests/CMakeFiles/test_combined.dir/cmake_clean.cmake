@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combined.dir/combined_test.cpp.o"
+  "CMakeFiles/test_combined.dir/combined_test.cpp.o.d"
+  "test_combined"
+  "test_combined.pdb"
+  "test_combined[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

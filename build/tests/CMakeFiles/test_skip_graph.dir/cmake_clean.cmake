@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skip_graph.dir/skip_graph_test.cpp.o"
+  "CMakeFiles/test_skip_graph.dir/skip_graph_test.cpp.o.d"
+  "test_skip_graph"
+  "test_skip_graph.pdb"
+  "test_skip_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skip_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfnet_sim.dir/reconfnet_sim.cpp.o"
+  "CMakeFiles/reconfnet_sim.dir/reconfnet_sim.cpp.o.d"
+  "reconfnet_sim"
+  "reconfnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
