@@ -1,0 +1,148 @@
+// Runtime invariant-audit layer. The overlays validate protocol invariants
+// (H-graph structure, group-size bounds, supernode label consistency, bus
+// conservation) at round and epoch boundaries, so a silent simulator bug
+// fails loudly instead of quietly poisoning experiment results.
+//
+// Auditing is gated at runtime: it is off by default, switched on by the
+// RECONFNET_AUDIT environment variable (or by default when the tree is
+// configured with -DRECONFNET_AUDIT=ON), and can always be toggled
+// programmatically via set_enabled(). Checks themselves live in
+// audit/invariants.hpp; they are pure functions over observable state that
+// return the list of violations found, so tests can run them against
+// deliberately corrupted inputs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace reconfnet::audit {
+
+/// One violated invariant, as reported by a checker in invariants.hpp.
+struct Violation {
+  /// Stable dotted identifier of the check, e.g. "hgraph.cycle".
+  std::string check;
+  /// Human-readable description including the offending values.
+  std::string detail;
+};
+
+/// Thrown by enforce() when auditing is enabled and a checker reported at
+/// least one violation.
+class AuditError : public std::runtime_error {
+ public:
+  explicit AuditError(std::vector<Violation> violations)
+      : std::runtime_error(format(violations)),
+        violations_(std::move(violations)) {}
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+
+ private:
+  static std::string format(const std::vector<Violation>& violations) {
+    std::string out = "invariant audit failed (" +
+                      std::to_string(violations.size()) + " violation" +
+                      (violations.size() == 1 ? "" : "s") + ")";
+    for (const auto& violation : violations) {
+      out += "\n  [" + violation.check + "] " + violation.detail;
+    }
+    return out;
+  }
+
+  std::vector<Violation> violations_;
+};
+
+/// Counters of audit activity since the last reset_stats().
+struct Stats {
+  std::uint64_t checks_run = 0;
+  std::uint64_t violations_found = 0;
+};
+
+namespace detail {
+
+inline std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag = [] {
+#ifdef RECONFNET_AUDIT_DEFAULT_ON
+    bool on = true;
+#else
+    bool on = false;
+#endif
+    if (const char* env = std::getenv("RECONFNET_AUDIT")) {
+      const std::string_view value(env);
+      on = !(value == "0" || value == "off" || value == "false" ||
+             value.empty());
+    }
+    return on;
+  }();
+  return flag;
+}
+
+inline std::atomic<std::uint64_t>& checks_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+inline std::atomic<std::uint64_t>& violations_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+}  // namespace detail
+
+/// Whether audit hooks should run. Overlays consult this before paying for a
+/// check, so disabled audits cost one relaxed atomic load per hook.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_enabled(bool on) noexcept {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline Stats stats() noexcept {
+  return {detail::checks_counter().load(std::memory_order_relaxed),
+          detail::violations_counter().load(std::memory_order_relaxed)};
+}
+
+inline void reset_stats() noexcept {
+  detail::checks_counter().store(0, std::memory_order_relaxed);
+  detail::violations_counter().store(0, std::memory_order_relaxed);
+}
+
+/// RAII audit toggle, mainly for tests.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on = true) : previous_(enabled()) {
+    set_enabled(on);
+  }
+  ~ScopedEnable() { set_enabled(previous_); }
+
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+  ScopedEnable(ScopedEnable&&) = delete;
+  ScopedEnable& operator=(ScopedEnable&&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Records that one check ran and throws AuditError if it found violations.
+/// The canonical hook shape is:
+///
+///   if (audit::enabled()) {
+///     audit::enforce(audit::check_hgraph(topology_, config_.degree));
+///   }
+inline void enforce(std::vector<Violation> violations) {
+  detail::checks_counter().fetch_add(1, std::memory_order_relaxed);
+  if (violations.empty()) return;
+  detail::violations_counter().fetch_add(violations.size(),
+                                         std::memory_order_relaxed);
+  throw AuditError(std::move(violations));
+}
+
+}  // namespace reconfnet::audit

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "audit/audit.hpp"
+#include "audit/invariants.hpp"
 #include "graph/connectivity.hpp"
 
 namespace reconfnet::churn {
@@ -127,6 +130,20 @@ ChurnOverlay::EpochReport ChurnOverlay::run_epoch(
 
   members_ = std::move(result.new_members);
   topology_ = std::move(*result.new_topology);
+  // Epoch-boundary audit (Algorithm 3 postconditions): the rebuilt topology
+  // is a d-regular union of Hamilton cycles with symmetric succ/pred maps,
+  // and its vertex set matches the member list one-to-one.
+  if (audit::enabled()) {
+    auto violations = audit::check_hgraph(topology_, config_.degree);
+    if (topology_.size() != members_.size()) {
+      violations.push_back(
+          {"hgraph.members",
+           "topology has " + std::to_string(topology_.size()) +
+               " vertices but the overlay has " +
+               std::to_string(members_.size()) + " members"});
+    }
+    audit::enforce(std::move(violations));
+  }
   report.success = true;
   report.members_after = members_.size();
   report.joins_applied = join_count;

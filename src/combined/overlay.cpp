@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "audit/audit.hpp"
+#include "audit/invariants.hpp"
 #include "graph/connectivity.hpp"
 #include "sampling/hypercube_sampler.hpp"
 
@@ -122,6 +124,14 @@ void CombinedOverlay::advance_round(adversary::ChurnAdversary& churn,
     const auto* stale = snapshots_.stale_view(round_ - attack.lateness);
     const auto universe = super_.all_nodes();
     blocked = attack.adversary->choose(stale, universe, budget, round_);
+    // Round-boundary audit: the r-bounded adversary must respect its budget
+    // and may only block ids that ever existed — a t-late adversary working
+    // from a stale snapshot legitimately wastes budget on nodes that have
+    // since churned out (Section 1.1; ids are never reused).
+    if (audit::enabled()) {
+      audit::enforce(
+          audit::check_blocked_budget(blocked.ids(), budget, ever_members_));
+    }
   }
   // Crashed members are silent forever, on top of any adversary budget.
   for (sim::NodeId node : crashed_) blocked.insert(node);
@@ -353,6 +363,18 @@ CombinedOverlay::EpochReport CombinedOverlay::run_epoch(
     return fail("split/merge left an empty supernode");
   }
   edges_ = super_.overlay_edges();
+  // Epoch-boundary audit (Section 6): after split/merge maintenance the live
+  // labels must form a complete prefix-free code, every supernode must
+  // satisfy Equation (1), the groups must partition the members, and the
+  // overlay edge list must be a well-formed undirected graph.
+  if (audit::enabled()) {
+    auto violations = audit::check_supergroups(super_, config_.group_c);
+    for (auto& violation :
+         audit::check_edge_symmetry(super_.all_nodes(), edges_)) {
+      violations.push_back(std::move(violation));
+    }
+    audit::enforce(std::move(violations));
+  }
   for (int r = 0; r < 2 * report.split_merge.sweeps; ++r) {
     advance_round(churn, attack, state_bits_now(), report);
   }

@@ -87,6 +87,11 @@ class CombinedOverlay {
   }
 
   [[nodiscard]] const SuperGroups& supernodes() const { return super_; }
+  /// Per-round topology snapshots (what a t-late adversary observes); also
+  /// the reproducibility witness compared by the determinism tests.
+  [[nodiscard]] const sim::SnapshotBuffer& snapshots() const {
+    return snapshots_;
+  }
   [[nodiscard]] std::size_t size() const { return super_.node_count(); }
   [[nodiscard]] sim::Round round() const { return round_; }
   [[nodiscard]] sim::IdAllocator& ids() { return ids_; }

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "audit/audit.hpp"
+#include "audit/invariants.hpp"
 #include "sampling/hypercube_sampler.hpp"
 #include "sim/metrics.hpp"
 
@@ -413,6 +415,14 @@ NodeLevelReport run_node_level_epoch(
 
   report.rounds = bus.round();
   report.max_node_bits_per_round = meter.max_node_bits_any_round();
+
+  // Bus-level conservation audit (Section 1.1): over every finished round,
+  // messages delivered never exceed messages sent and dropped messages
+  // account exactly for the difference. The per-delivery blocking rule is
+  // audited inside Bus::step itself.
+  if (audit::enabled()) {
+    audit::enforce(audit::check_bus_conservation(meter));
+  }
 
   if (report.silenced_group_rounds > 0) {
     report.failure_reason = "a group was silenced";

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "audit/audit.hpp"
+#include "audit/invariants.hpp"
 #include "graph/connectivity.hpp"
 #include "sampling/hypercube_sampler.hpp"
 
@@ -64,6 +66,12 @@ void DosOverlay::advance_round(const Attack& attack,
     // The id space is public knowledge; the secret is the group structure.
     const auto universe = groups_.all_nodes();
     blocked = attack.adversary->choose(stale, universe, budget, round_);
+    // Round-boundary audit: an r-bounded adversary must respect its budget
+    // and may only block existing nodes (Section 1.1).
+    if (audit::enabled()) {
+      audit::enforce(
+          audit::check_blocked_budget(blocked.ids(), budget, universe));
+    }
   }
 
   std::uint64_t max_bits = 0;
@@ -267,6 +275,17 @@ DosOverlay::EpochReport DosOverlay::run_epoch(const Attack& attack) {
 
   groups_ = GroupTable(d, std::move(new_groups));
   edges_ = groups_.overlay_edges();
+  // Epoch-boundary audit (Section 5): the rebuilt groups partition the node
+  // set with Theta(log n) representatives each, and the overlay edge list is
+  // a well-formed undirected graph.
+  if (audit::enabled()) {
+    auto violations = audit::check_group_table(groups_, config_.group_c);
+    for (auto& violation :
+         audit::check_edge_symmetry(groups_.all_nodes(), edges_)) {
+      violations.push_back(std::move(violation));
+    }
+    audit::enforce(std::move(violations));
+  }
   push_snapshot();
 
   report.success = report.disconnected_rounds == 0;

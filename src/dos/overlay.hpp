@@ -76,6 +76,11 @@ class DosOverlay {
   EpochReport run_static(const Attack& attack, sim::Round rounds);
 
   [[nodiscard]] const GroupTable& groups() const { return groups_; }
+  /// Per-round topology snapshots (what a t-late adversary observes); also
+  /// the reproducibility witness compared by the determinism tests.
+  [[nodiscard]] const sim::SnapshotBuffer& snapshots() const {
+    return snapshots_;
+  }
   [[nodiscard]] int dimension() const { return groups_.dimension(); }
   [[nodiscard]] std::size_t size() const { return groups_.size(); }
   [[nodiscard]] sim::Round round() const { return round_; }

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "audit/audit.hpp"
+#include "audit/invariants.hpp"
 #include "sim/metrics.hpp"
 #include "sim/types.hpp"
 
@@ -83,6 +85,11 @@ class Bus {
                              !blocked_sending.contains(envelope.to) &&
                              !blocked_delivery.contains(envelope.to);
       if (delivered) {
+        if (audit::enabled()) {
+          audit::enforce(audit::check_blocking_rule(
+              envelope.from, envelope.to, blocked_sending.ids(),
+              blocked_delivery.ids()));
+        }
         if (meter_ != nullptr) meter_->note_received(envelope.to, bits);
         inboxes_[envelope.to].push_back(std::move(envelope));
       } else if (meter_ != nullptr) {

@@ -25,6 +25,7 @@ void WorkMeter::finish_round(Round round) {
   for (const auto& [node, work] : current_) {
     agg.max_node_bits = std::max(agg.max_node_bits, work.bits_total());
     agg.total_bits += work.bits_total();
+    agg.sent_messages += work.messages_sent;
     agg.total_messages += work.messages_received;
   }
   history_.push_back(agg);

@@ -29,8 +29,15 @@ struct RoundWork {
   Round round = 0;
   std::uint64_t max_node_bits = 0;    ///< max over nodes of bits sent+received
   std::uint64_t total_bits = 0;       ///< sum over nodes
+  std::uint64_t sent_messages = 0;    ///< messages handed to the bus
   std::uint64_t total_messages = 0;   ///< messages delivered
   std::uint64_t dropped_messages = 0; ///< lost to blocking
+
+  /// Bus conservation (Section 1.1): every sent message is either delivered
+  /// or dropped by the blocking rule, never both and never duplicated.
+  [[nodiscard]] bool conserved() const {
+    return total_messages + dropped_messages == sent_messages;
+  }
 };
 
 /// Collects per-node work within the current round and a per-round history.

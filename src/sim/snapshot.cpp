@@ -3,6 +3,29 @@
 #include <algorithm>
 
 namespace reconfnet::sim {
+namespace {
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * byte)));
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const TopologySnapshot& snapshot) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 * (3 + snapshot.nodes.size() + 2 * snapshot.edges.size()));
+  append_u64(out, static_cast<std::uint64_t>(snapshot.round));
+  append_u64(out, snapshot.nodes.size());
+  for (NodeId node : snapshot.nodes) append_u64(out, node);
+  append_u64(out, snapshot.edges.size());
+  for (const auto& [a, b] : snapshot.edges) {
+    append_u64(out, a);
+    append_u64(out, b);
+  }
+  return out;
+}
 
 SnapshotBuffer::SnapshotBuffer(std::size_t capacity) : capacity_(capacity) {}
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <utility>
 #include <vector>
@@ -21,6 +22,13 @@ struct TopologySnapshot {
   std::vector<std::pair<NodeId, NodeId>> edges;
 };
 
+/// Canonical little-endian byte encoding of a snapshot (round, then
+/// length-prefixed node and edge lists). Two runs of a deterministic
+/// simulation from the same master seed must produce byte-identical
+/// serializations — this is what the reproducibility tests compare.
+[[nodiscard]] std::vector<std::uint8_t> serialize(
+    const TopologySnapshot& snapshot);
+
 /// Ring buffer of per-round snapshots with bounded memory.
 class SnapshotBuffer {
  public:
@@ -33,6 +41,11 @@ class SnapshotBuffer {
   /// retained that old. A t-late adversary acting at round r is served
   /// stale_view(r - t).
   [[nodiscard]] const TopologySnapshot* stale_view(Round round) const;
+
+  /// The most recent snapshot, or nullptr if none was pushed yet.
+  [[nodiscard]] const TopologySnapshot* latest() const {
+    return buffer_.empty() ? nullptr : &buffer_.back();
+  }
 
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
 

@@ -55,7 +55,10 @@ class Args {
       const bool is_switch =
           std::find(switches.begin(), switches.end(), key) != switches.end();
       if (is_switch) {
-        values_[key] = "1";
+        // Materializing the std::string before the assignment sidesteps a
+        // gcc-12 -Wrestrict false positive (PR 105329) on assigning a char
+        // literal into the map at -O3.
+        values_.insert_or_assign(key, std::string("1"));
       } else {
         if (i + 1 >= argc) {
           throw std::invalid_argument("missing value for --" + key);
