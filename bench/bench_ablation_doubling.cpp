@@ -50,70 +50,83 @@ double mean_distance_of(const std::vector<int>& dist,
 
 }  // namespace
 
-int main() {
-  bench::banner(
-      "A1: ablation — pointer doubling vs single-step walks",
+int main(int argc, char** argv) {
+  const bench::BenchSpec spec{
+      "A1_doubling", "A1: ablation — pointer doubling vs single-step walks",
       "Same round budget, same graph, same origin: mean BFS distance of the "
       "origin's samples. Uniform samples match the graph-wide mean; unmixed "
-      "walks fall short of it.");
+      "walks fall short of it."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    const std::size_t n = 1024;
+    support::Rng graph_rng(ctx.seed + 10);
+    const auto g = graph::HGraph::random(n, 8, graph_rng);
+    const auto dist = bfs_distances(g, 0);
+    double uniform_mean = 0.0;
+    for (auto d : dist) uniform_mean += static_cast<double>(d);
+    uniform_mean /= static_cast<double>(n);
+    constexpr int kRuns = 40;
 
-  const std::size_t n = 1024;
-  support::Rng rng(bench::kBenchSeed + 10);
-  const auto g = graph::HGraph::random(n, 8, rng);
-  const auto dist = bfs_distances(g, 0);
-  double uniform_mean = 0.0;
-  for (auto d : dist) uniform_mean += static_cast<double>(d);
-  uniform_mean /= static_cast<double>(n);
-  constexpr int kRuns = 40;
+    support::Table table({"rounds", "dbl_walk_len", "dbl_mean_dist",
+                          "plain_walk_len", "plain_mean_dist",
+                          "uniform_ref"});
+    const std::vector<int> budgets{2, 4, 6, 8, 10};
+    bench::sweep(
+        ctx, table, budgets,
+        {"doubled_walk_len", "doubled_mean_dist", "plain_mean_dist"},
+        [](int budget) { return "budget=" + support::Table::num(budget); },
+        [&](int budget, runtime::TrialContext& trial) {
+          const int iterations = budget / 2;
+          sampling::Schedule schedule;
+          schedule.iterations = iterations;
+          schedule.m.resize(static_cast<std::size_t>(iterations) + 1);
+          for (int i = 0; i <= iterations; ++i) {
+            schedule.m[static_cast<std::size_t>(i)] =
+                static_cast<std::size_t>(std::pow(3.0, iterations - i) *
+                                         16.0);
+          }
+          schedule.target_walk_length = std::size_t{1} << iterations;
 
-  support::Table table({"rounds", "dbl_walk_len", "dbl_mean_dist",
-                        "plain_walk_len", "plain_mean_dist",
-                        "uniform_ref"});
-  for (const int budget : {2, 4, 6, 8, 10}) {
-    const int iterations = budget / 2;
-    sampling::Schedule schedule;
-    schedule.iterations = iterations;
-    schedule.m.resize(static_cast<std::size_t>(iterations) + 1);
-    for (int i = 0; i <= iterations; ++i) {
-      schedule.m[static_cast<std::size_t>(i)] = static_cast<std::size_t>(
-          std::pow(3.0, iterations - i) * 16.0);
-    }
-    schedule.target_walk_length = std::size_t{1} << iterations;
+          std::vector<std::uint64_t> doubled_counts(n, 0);
+          for (int run = 0; run < kRuns; ++run) {
+            auto run_rng = trial.rng.split(static_cast<std::uint64_t>(run));
+            const auto result =
+                sampling::run_hgraph_sampling(g, schedule, run_rng);
+            for (auto s : result.samples.front()) ++doubled_counts[s];
+          }
 
-    std::vector<std::uint64_t> doubled_counts(n, 0);
-    for (int run = 0; run < kRuns; ++run) {
-      auto run_rng = rng.split(static_cast<std::uint64_t>(run));
-      const auto result = sampling::run_hgraph_sampling(g, schedule, run_rng);
-      for (auto s : result.samples.front()) ++doubled_counts[s];
-    }
-
-    std::vector<std::uint64_t> plain_counts(n, 0);
-    for (int run = 0; run < kRuns; ++run) {
-      auto run_rng = rng.split(1000 + static_cast<std::uint64_t>(run));
-      const auto result = sampling::run_hgraph_plain_walks(
-          g, 16, static_cast<std::size_t>(budget), run_rng);
-      for (auto s : result.samples.front()) ++plain_counts[s];
-    }
-
-    table.add_row(
-        {support::Table::num(budget),
-         support::Table::num(
-             static_cast<std::uint64_t>(schedule.target_walk_length)),
-         support::Table::num(mean_distance_of(dist, doubled_counts), 3),
-         support::Table::num(budget),
-         support::Table::num(mean_distance_of(dist, plain_counts), 3),
-         support::Table::num(uniform_mean, 3)});
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "At every budget the doubled walks sit closer to the uniform "
-      "reference than the single-step walks, because the same rounds buy "
-      "walks of length 2^{r/2} instead of r; the doubled column converges "
-      "to the reference at budget ~8 while the plain column is still "
-      "approaching it. At laptop n the absolute gap is compressed (an "
-      "expander mixes in ~log n ~ 10 steps anyway); the gap widens with n "
-      "since the doubled length overtakes the mixing time exponentially "
-      "sooner. This isolates pointer doubling as the source of the paper's "
-      "speed-up.");
-  return EXIT_SUCCESS;
+          std::vector<std::uint64_t> plain_counts(n, 0);
+          for (int run = 0; run < kRuns; ++run) {
+            auto run_rng =
+                trial.rng.split(1000 + static_cast<std::uint64_t>(run));
+            const auto result = sampling::run_hgraph_plain_walks(
+                g, 16, static_cast<std::size_t>(budget), run_rng);
+            for (auto s : result.samples.front()) ++plain_counts[s];
+          }
+          return std::vector<double>{
+              static_cast<double>(schedule.target_walk_length),
+              mean_distance_of(dist, doubled_counts),
+              mean_distance_of(dist, plain_counts)};
+        },
+        [&](int budget, const std::vector<double>& mean) {
+          return std::vector<std::string>{
+              support::Table::num(budget),
+              support::Table::num(mean[0], 0),
+              support::Table::num(mean[1], 3),
+              support::Table::num(budget),
+              support::Table::num(mean[2], 3),
+              support::Table::num(uniform_mean, 3)};
+        });
+    ctx.show("doubling_vs_plain", table);
+    ctx.interpret(
+        "At every budget the doubled walks sit closer to the uniform "
+        "reference than the single-step walks, because the same rounds buy "
+        "walks of length 2^{r/2} instead of r; the doubled column converges "
+        "to the reference at budget ~8 while the plain column is still "
+        "approaching it. At laptop n the absolute gap is compressed (an "
+        "expander mixes in ~log n ~ 10 steps anyway); the gap widens with n "
+        "since the doubled length overtakes the mixing time exponentially "
+        "sooner. This isolates pointer doubling as the source of the paper's "
+        "speed-up.");
+    return EXIT_SUCCESS;
+  });
 }

@@ -6,64 +6,80 @@
 #include <cstdlib>
 #include <iostream>
 #include <numeric>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "churn/reconfigure.hpp"
 #include "graph/hgraph.hpp"
 #include "support/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner(
-      "A4: ablation — Phase 1 via rapid sampling vs plain walks",
+  const bench::BenchSpec spec{
+      "A4_phase1", "A4: ablation — Phase 1 via rapid sampling vs plain walks",
       "Same Algorithm 3, same graph; only the node sampling primitive "
       "differs. Epoch length is what the paper's exponential speed-up buys "
-      "at the system level.");
+      "at the system level."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    support::Table table({"n", "rapid_epoch_rounds", "plain_epoch_rounds",
+                          "epoch_speedup", "rapid_kbits", "plain_kbits"});
+    const std::vector<std::size_t> cells{128, 256, 512, 1024};
+    const auto means = bench::sweep(
+        ctx, table, cells,
+        {"rapid_epoch_rounds", "plain_epoch_rounds", "rapid_kbits",
+         "plain_kbits", "runs_ok"},
+        [](std::size_t n) {
+          return "n=" + support::Table::num(static_cast<std::uint64_t>(n));
+        },
+        [&](std::size_t n, runtime::TrialContext& trial) {
+          auto graph_rng = trial.rng.split(0);
+          const auto g = graph::HGraph::random(n, 8, graph_rng);
+          churn::ReconfigInput input;
+          input.topology = &g;
+          input.members.resize(n);
+          std::iota(input.members.begin(), input.members.end(), sim::NodeId{0});
+          input.leaving.assign(n, false);
+          input.joiners.assign(n, {});
+          input.sampling.c = 2.0;
+          input.estimate = sampling::SizeEstimate::from_true_size(n);
 
-  support::Table table({"n", "rapid_epoch_rounds", "plain_epoch_rounds",
-                        "epoch_speedup", "rapid_kbits", "plain_kbits"});
-  support::Rng rng(bench::kBenchSeed + 20);
-  for (const std::size_t n : {128u, 256u, 512u, 1024u}) {
-    const auto g = graph::HGraph::random(n, 8, rng);
-    churn::ReconfigInput input;
-    input.topology = &g;
-    input.members.resize(n);
-    std::iota(input.members.begin(), input.members.end(), sim::NodeId{0});
-    input.leaving.assign(n, false);
-    input.joiners.assign(n, {});
-    input.sampling.c = 2.0;
-    input.estimate = sampling::SizeEstimate::from_true_size(n);
+          auto rapid_rng = trial.rng.split(1);
+          const auto rapid = churn::reconfigure(input, rapid_rng);
 
-    auto rapid_rng = rng.split(1);
-    const auto rapid = churn::reconfigure(input, rapid_rng);
+          input.use_plain_walk_sampling = true;
+          auto plain_rng = trial.rng.split(2);
+          const auto plain = churn::reconfigure(input, plain_rng);
 
-    input.use_plain_walk_sampling = true;
-    auto plain_rng = rng.split(2);
-    const auto plain = churn::reconfigure(input, plain_rng);
-
-    if (!rapid.success || !plain.success) {
-      std::cerr << "epoch failed at n=" << n << "\n";
-      return EXIT_FAILURE;
+          return std::vector<double>{
+              static_cast<double>(rapid.rounds),
+              static_cast<double>(plain.rounds),
+              static_cast<double>(rapid.max_node_bits_per_round) / 1000.0,
+              static_cast<double>(plain.max_node_bits_per_round) / 1000.0,
+              rapid.success && plain.success ? 1.0 : 0.0};
+        },
+        [&](std::size_t n, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(static_cast<std::uint64_t>(n)),
+              support::Table::num(mean[0], digits),
+              support::Table::num(mean[1], digits),
+              support::Table::num(mean[1] / mean[0], 2),
+              support::Table::num(mean[2], 1),
+              support::Table::num(mean[3], 1)};
+        });
+    ctx.show("phase1_primitive", table);
+    for (const auto& mean : means) {
+      if (mean[4] < 1.0) {
+        std::cerr << "epoch failed\n";
+        return EXIT_FAILURE;
+      }
     }
-    table.add_row(
-        {support::Table::num(static_cast<std::uint64_t>(n)),
-         support::Table::num(rapid.rounds),
-         support::Table::num(plain.rounds),
-         support::Table::num(static_cast<double>(plain.rounds) /
-                                 static_cast<double>(rapid.rounds),
-                             2),
-         support::Table::num(
-             static_cast<double>(rapid.max_node_bits_per_round) / 1000.0, 1),
-         support::Table::num(
-             static_cast<double>(plain.max_node_bits_per_round) / 1000.0,
-             1)});
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "Swapping only the Phase 1 primitive stretches the whole epoch by the "
-      "sampling-round gap: the delay T within which joins/leaves take "
-      "effect — and hence the churn volume each epoch must absorb — grows "
-      "with it. This is the system-level payoff of Section 3's "
-      "O(log log n) primitive.");
-  return EXIT_SUCCESS;
+    ctx.interpret(
+        "Swapping only the Phase 1 primitive stretches the whole epoch by "
+        "the sampling-round gap: the delay T within which joins/leaves take "
+        "effect — and hence the churn volume each epoch must absorb — grows "
+        "with it. This is the system-level payoff of Section 3's "
+        "O(log log n) primitive.");
+    return EXIT_SUCCESS;
+  });
 }

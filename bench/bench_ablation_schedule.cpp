@@ -3,6 +3,7 @@
 // turns failure probability negligible once c clears a small threshold.
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "graph/hgraph.hpp"
@@ -10,49 +11,64 @@
 #include "sampling/schedule.hpp"
 #include "support/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner("A2: ablation — schedule constant c (Lemma 7)",
-                "Success probability of Algorithm 1 as the schedule constant "
-                "c varies (n = 256, eps = 1).");
+  const bench::BenchSpec spec{
+      "A2_schedule", "A2: ablation — schedule constant c (Lemma 7)",
+      "Success probability of Algorithm 1 as the schedule constant c varies "
+      "(n = 256, eps = 1)."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    const std::size_t n = 256;
+    support::Rng graph_rng(ctx.seed + 11);
+    const auto g = graph::HGraph::random(n, 8, graph_rng);
+    const auto estimate = sampling::SizeEstimate::from_true_size(n);
 
-  const std::size_t n = 256;
-  support::Rng rng(bench::kBenchSeed + 11);
-  const auto g = graph::HGraph::random(n, 8, rng);
-  const auto estimate = sampling::SizeEstimate::from_true_size(n);
-
-  support::Table table(
-      {"c", "m_0", "m_T", "runs_ok", "dry_events_total"});
-  constexpr int kRuns = 20;
-  for (const double c : {0.0625, 0.125, 0.25, 0.5, 1.0, 2.0}) {
-    sampling::SamplingConfig config;
-    config.c = c;
-    config.beta = c;
-    const auto schedule = sampling::hgraph_schedule(estimate, 8, config);
-    int ok = 0;
-    std::size_t dry = 0;
-    for (int run = 0; run < kRuns; ++run) {
-      auto run_rng =
-          rng.split(static_cast<std::uint64_t>(c * 1000) +
-                    static_cast<std::uint64_t>(run));
-      const auto result = sampling::run_hgraph_sampling(g, schedule, run_rng);
-      ok += result.success ? 1 : 0;
-      dry += result.dry_events;
-    }
-    table.add_row(
-        {support::Table::num(c, 4),
-         support::Table::num(static_cast<std::uint64_t>(schedule.m0())),
-         support::Table::num(
-             static_cast<std::uint64_t>(schedule.samples_out())),
-         support::Table::num(ok) + "/" + support::Table::num(kRuns),
-         support::Table::num(static_cast<std::uint64_t>(dry))});
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "A sharp threshold: tiny multisets (c <= 1/8, i.e. m_i of a handful of "
-      "ids) run dry under the Chernoff fluctuations of incoming requests, "
-      "while success turns on sharply between c = 1 and c = 2 — empirically "
-      "confirming that Lemma 7's requirement is about a constant, not about "
-      "asymptotically growing slack.");
-  return EXIT_SUCCESS;
+    // Each cell already repeats kRuns times internally so the success ratio
+    // is meaningful at --reps 1; --reps multiplies the repetitions.
+    constexpr int kRuns = 20;
+    support::Table table({"c", "m_0", "m_T", "runs_ok", "dry_events_total"});
+    const std::vector<double> cells{0.0625, 0.125, 0.25, 0.5, 1.0, 2.0};
+    bench::sweep(
+        ctx, table, cells, {"runs_ok", "dry_events"},
+        [](double c) { return "c=" + support::Table::num(c, 4); },
+        [&](double c, runtime::TrialContext& trial) {
+          sampling::SamplingConfig config;
+          config.c = c;
+          config.beta = c;
+          const auto schedule = sampling::hgraph_schedule(estimate, 8, config);
+          double ok = 0.0;
+          double dry = 0.0;
+          for (int run = 0; run < kRuns; ++run) {
+            auto run_rng = trial.rng.split(static_cast<std::uint64_t>(run));
+            const auto result =
+                sampling::run_hgraph_sampling(g, schedule, run_rng);
+            ok += result.success ? 1.0 : 0.0;
+            dry += static_cast<double>(result.dry_events);
+          }
+          return std::vector<double>{ok, dry};
+        },
+        [&](double c, const std::vector<double>& mean) {
+          sampling::SamplingConfig config;
+          config.c = c;
+          config.beta = c;
+          const auto schedule = sampling::hgraph_schedule(estimate, 8, config);
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(c, 4),
+              support::Table::num(static_cast<std::uint64_t>(schedule.m0())),
+              support::Table::num(
+                  static_cast<std::uint64_t>(schedule.samples_out())),
+              support::Table::num(mean[0], digits) + "/" +
+                  support::Table::num(kRuns),
+              support::Table::num(mean[1], digits)};
+        });
+    ctx.show("schedule_c_sweep", table);
+    ctx.interpret(
+        "A sharp threshold: tiny multisets (c <= 1/8, i.e. m_i of a handful "
+        "of ids) run dry under the Chernoff fluctuations of incoming "
+        "requests, while success turns on sharply between c = 1 and c = 2 — "
+        "empirically confirming that Lemma 7's requirement is about a "
+        "constant, not about asymptotically growing slack.");
+    return EXIT_SUCCESS;
+  });
 }

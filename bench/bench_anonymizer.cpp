@@ -11,104 +11,123 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner(
-      "T7: robust anonymous routing (Corollary 2)",
+  const bench::BenchSpec spec{
+      "T7_anonymizer", "T7: robust anonymous routing (Corollary 2)",
       "Claim: requests and replies are delivered reliably in O(1) rounds, "
-      "and exit servers are uniform over V from the attacker's view.");
+      "and exit servers are uniform over V from the attacker's view."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    support::Table table(
+        {"blocked_frac", "delivered", "replied", "rounds", "exit_chi2_p"});
+    constexpr std::size_t kRequestsPerTable = 400;
+    constexpr std::size_t kServers = 512;
+    const std::vector<double> cells{0.0, 0.2, 0.35, 0.45};
+    bench::sweep(
+        ctx, table, cells,
+        {"delivered_pct", "replied_pct", "rounds", "exit_chi2_p"},
+        [](double blocked_fraction) {
+          return "blocked=" + support::Table::num(blocked_fraction, 2);
+        },
+        [&](double blocked_fraction, runtime::TrialContext& trial) {
+          std::size_t delivered = 0;
+          std::size_t replied = 0;
+          std::size_t total = 0;
+          sim::Round rounds = 0;
+          std::vector<std::uint64_t> exits(kServers, 0);
+          // The paper's anonymity notion is "uniform with respect to the
+          // current knowledge of the attacker": the attacker knows which
+          // servers it blocked, so the claim is uniformity over the servers
+          // able to act as exits. We accumulate the matching expected counts
+          // per generation.
+          std::vector<double> expected(kServers, 0.0);
+          // Aggregate across freshly reorganized overlays (each
+          // reconfiguration re-randomizes the groups, which is the anonymity
+          // mechanism).
+          for (int generation = 0; generation < 10; ++generation) {
+            auto gen_rng =
+                trial.rng.split(static_cast<std::uint64_t>(generation));
+            dos::DosOverlay::Config config;
+            config.size = kServers;
+            config.group_c = 2.0;
+            config.seed = gen_rng.next();
+            dos::DosOverlay overlay(config);
+            (void)overlay.run_epoch({});  // fresh random groups
 
-  support::Table table(
-      {"blocked_frac", "delivered", "replied", "rounds", "exit_chi2_p"});
-  constexpr std::size_t kRequestsPerTable = 400;
-  constexpr std::size_t kServers = 512;
-
-  for (const double blocked_fraction : {0.0, 0.2, 0.35, 0.45}) {
-    std::size_t delivered = 0;
-    std::size_t replied = 0;
-    std::size_t total = 0;
-    sim::Round rounds = 0;
-    std::vector<std::uint64_t> exits(kServers, 0);
-    // The paper's anonymity notion is "uniform with respect to the current
-    // knowledge of the attacker": the attacker knows which servers it
-    // blocked, so the claim is uniformity over the servers able to act as
-    // exits. We accumulate the matching expected counts per generation.
-    std::vector<double> expected(kServers, 0.0);
-    // Aggregate across freshly reorganized overlays (each reconfiguration
-    // re-randomizes the groups, which is the anonymity mechanism).
-    for (int generation = 0; generation < 10; ++generation) {
-      dos::DosOverlay::Config config;
-      config.size = kServers;
-      config.group_c = 2.0;
-      config.seed = bench::kBenchSeed + 8 +
-                    static_cast<std::uint64_t>(generation);
-      dos::DosOverlay overlay(config);
-      (void)overlay.run_epoch({});  // fresh random groups
-
-      support::Rng rng(config.seed + 1);
-      std::vector<sim::BlockedSet> blocked(apps::kAnonymizerPipelineRounds);
-      for (auto& set : blocked) {
-        for (sim::NodeId node = 0; node < kServers; ++node) {
-          if (rng.bernoulli(blocked_fraction)) set.insert(node);
-        }
-      }
-      std::vector<apps::AnonymousRequest> requests(kRequestsPerTable / 10);
-      for (std::size_t i = 0; i < requests.size(); ++i) {
-        requests[i] = {9000 + i, 9500 + i};
-      }
-      const auto report = apps::route_anonymous_batch(overlay.groups(),
-                                                      requests, blocked, rng);
-      delivered += report.delivered;
-      replied += report.replied;
-      total += report.requests;
-      rounds = report.rounds;
-      for (sim::NodeId exit : report.exit_servers) ++exits[exit];
-      // Eligible exits this generation: non-blocked through rounds 0-2.
-      std::vector<sim::NodeId> eligible;
-      for (sim::NodeId server = 0; server < kServers; ++server) {
-        if (!blocked[0].contains(server) && !blocked[1].contains(server) &&
-            !blocked[2].contains(server)) {
-          eligible.push_back(server);
-        }
-      }
-      if (!eligible.empty()) {
-        const double share = static_cast<double>(report.exit_servers.size()) /
-                             static_cast<double>(eligible.size());
-        for (sim::NodeId server : eligible) expected[server] += share;
-      }
-    }
-    // Chi-square of observed exits against the attacker-knowledge-adjusted
-    // expectation, over servers with positive expectation.
-    std::vector<std::uint64_t> observed_cells;
-    std::vector<double> expected_cells;
-    for (std::size_t server = 0; server < kServers; ++server) {
-      if (expected[server] > 0.5) {
-        observed_cells.push_back(exits[server]);
-        expected_cells.push_back(expected[server]);
-      }
-    }
-    const double chi2_p =
-        support::chi_square(observed_cells, expected_cells).p_value;
-    table.add_row(
-        {support::Table::num(blocked_fraction, 2),
-         support::Table::num(static_cast<double>(delivered) /
-                                 static_cast<double>(total) * 100.0,
-                             1) +
-             "%",
-         support::Table::num(static_cast<double>(replied) /
-                                 static_cast<double>(total) * 100.0,
-                             1) +
-             "%",
-         support::Table::num(rounds), support::Table::num(chi2_p, 4)});
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "Delivery stays near-perfect through 45% blocking (a (1/2-eps) "
-      "adversary with eps=0.05) because destination groups of ~32 servers "
-      "always keep live members; the reply path needs survivors across all "
-      "five rounds so it degrades earlier. The chi-square p-values compare "
-      "exits against uniformity over the servers the attacker knows to be "
-      "non-blocked — the paper's anonymity notion — and show no detectable "
-      "bias at any blocking level.");
-  return EXIT_SUCCESS;
+            auto rng = gen_rng.split(1);
+            std::vector<sim::BlockedSet> blocked(
+                apps::kAnonymizerPipelineRounds);
+            for (auto& set : blocked) {
+              for (sim::NodeId node = 0; node < kServers; ++node) {
+                if (rng.bernoulli(blocked_fraction)) set.insert(node);
+              }
+            }
+            std::vector<apps::AnonymousRequest> requests(kRequestsPerTable /
+                                                         10);
+            for (std::size_t i = 0; i < requests.size(); ++i) {
+              requests[i] = {9000 + i, 9500 + i};
+            }
+            const auto report = apps::route_anonymous_batch(
+                overlay.groups(), requests, blocked, rng);
+            delivered += report.delivered;
+            replied += report.replied;
+            total += report.requests;
+            rounds = report.rounds;
+            for (sim::NodeId exit : report.exit_servers) ++exits[exit];
+            // Eligible exits this generation: non-blocked through rounds 0-2.
+            std::vector<sim::NodeId> eligible;
+            for (sim::NodeId server = 0; server < kServers; ++server) {
+              if (!blocked[0].contains(server) &&
+                  !blocked[1].contains(server) &&
+                  !blocked[2].contains(server)) {
+                eligible.push_back(server);
+              }
+            }
+            if (!eligible.empty()) {
+              const double share =
+                  static_cast<double>(report.exit_servers.size()) /
+                  static_cast<double>(eligible.size());
+              for (sim::NodeId server : eligible) expected[server] += share;
+            }
+          }
+          // Chi-square of observed exits against the
+          // attacker-knowledge-adjusted expectation, over servers with
+          // positive expectation.
+          std::vector<std::uint64_t> observed_cells;
+          std::vector<double> expected_cells;
+          for (std::size_t server = 0; server < kServers; ++server) {
+            if (expected[server] > 0.5) {
+              observed_cells.push_back(exits[server]);
+              expected_cells.push_back(expected[server]);
+            }
+          }
+          const double chi2_p =
+              support::chi_square(observed_cells, expected_cells).p_value;
+          return std::vector<double>{
+              static_cast<double>(delivered) / static_cast<double>(total) *
+                  100.0,
+              static_cast<double>(replied) / static_cast<double>(total) *
+                  100.0,
+              static_cast<double>(rounds), chi2_p};
+        },
+        [&](double blocked_fraction, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(blocked_fraction, 2),
+              support::Table::num(mean[0], 1) + "%",
+              support::Table::num(mean[1], 1) + "%",
+              support::Table::num(mean[2], digits),
+              support::Table::num(mean[3], 4)};
+        });
+    ctx.show("anonymous_routing", table);
+    ctx.interpret(
+        "Delivery stays near-perfect through 45% blocking (a (1/2-eps) "
+        "adversary with eps=0.05) because destination groups of ~32 servers "
+        "always keep live members; the reply path needs survivors across all "
+        "five rounds so it degrades earlier. The chi-square p-values compare "
+        "exits against uniformity over the servers the attacker knows to be "
+        "non-blocked — the paper's anonymity notion — and show no detectable "
+        "bias at any blocking level.");
+    return EXIT_SUCCESS;
+  });
 }

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <memory>
 #include <unordered_set>
+#include <vector>
 
 #include "adversary/churn.hpp"
 #include "bench/common.hpp"
@@ -37,119 +38,138 @@ struct Scenario {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner(
-      "T4: connectivity under adversarial churn (Theorems 4/5)",
+  const bench::BenchSpec spec{
+      "T4_churn", "T4: connectivity under adversarial churn (Theorems 4/5)",
       "Claim: constant-rate churn by an omniscient adversary never "
       "disconnects the reconfiguring overlay; a static H-graph suffering the "
-      "same departures falls apart.");
+      "same departures falls apart."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    const std::vector<Scenario> scenarios{
+        {"none",
+         [](support::Rng rng) {
+           (void)rng;
+           return std::make_unique<adversary::NoChurn>();
+         },
+         false},
+        {"uniform 2%/rd",
+         [](support::Rng rng) {
+           return std::make_unique<adversary::UniformChurn>(0.02, 1.0, 2.0,
+                                                            rng);
+         },
+         false},
+        {"segment 2%/rd",
+         [](support::Rng rng) {
+           return std::make_unique<adversary::SegmentChurn>(0.02, 2.0, rng);
+         },
+         true},
+        {"flood 1%/rd",
+         [](support::Rng rng) {
+           return std::make_unique<adversary::SponsorFloodChurn>(0.01, 4.0,
+                                                                 rng);
+         },
+         false},
+        {"burst 30%/7rd",
+         [](support::Rng rng) {
+           return std::make_unique<adversary::BurstChurn>(0.3, 2.0, 7, rng);
+         },
+         false},
+    };
 
-  const std::vector<Scenario> scenarios{
-      {"none",
-       [](support::Rng rng) {
-         (void)rng;
-         return std::make_unique<adversary::NoChurn>();
-       },
-       false},
-      {"uniform 2%/rd",
-       [](support::Rng rng) {
-         return std::make_unique<adversary::UniformChurn>(0.02, 1.0, 2.0,
-                                                          rng);
-       },
-       false},
-      {"segment 2%/rd",
-       [](support::Rng rng) {
-         return std::make_unique<adversary::SegmentChurn>(0.02, 2.0, rng);
-       },
-       true},
-      {"flood 1%/rd",
-       [](support::Rng rng) {
-         return std::make_unique<adversary::SponsorFloodChurn>(0.01, 4.0,
-                                                               rng);
-       },
-       false},
-      {"burst 30%/7rd",
-       [](support::Rng rng) {
-         return std::make_unique<adversary::BurstChurn>(0.3, 2.0, 7, rng);
-       },
-       false},
-  };
-
-  support::Table table({"adversary", "epochs_ok", "connected", "members_end",
-                        "rounds/epoch", "max_kbits/nd/rd"});
-  constexpr int kEpochs = 8;
-  std::uint64_t seed = bench::kBenchSeed + 5;
-
-  for (const auto& scenario : scenarios) {
-    churn::ChurnOverlay overlay(make_config(seed));
-    auto adversary = scenario.make(support::Rng(seed + 1));
-    int ok = 0;
-    int connected = 0;
-    sim::Round rounds = 0;
-    std::uint64_t max_bits = 0;
-    for (int epoch = 0; epoch < kEpochs; ++epoch) {
-      if (scenario.topology_aware) {
-        // Omniscient adversary refreshes its view of a live cycle.
-        static_cast<adversary::SegmentChurn*>(adversary.get())
-            ->set_order(overlay.cycle_order(0));
-      }
-      const auto report = overlay.run_epoch(*adversary);
-      ok += report.success ? 1 : 0;
-      connected += report.connected ? 1 : 0;
-      rounds = report.rounds;
-      max_bits = std::max(max_bits, report.max_node_bits_per_round);
-    }
-    table.add_row(
-        {scenario.name,
-         support::Table::num(ok) + "/" + support::Table::num(kEpochs),
-         support::Table::num(connected) + "/" + support::Table::num(kEpochs),
-         support::Table::num(
-             static_cast<std::uint64_t>(overlay.members().size())),
-         support::Table::num(rounds),
-         support::Table::num(static_cast<double>(max_bits) / 1000.0, 1)});
-    seed += 100;
-  }
-  table.print(std::cout);
-
-  // Baseline: a static H-graph with no repair. An omniscient adversary
-  // isolates a victim by prescribing exactly the victim's neighbors to
-  // leave — a vanishing fraction of the network.
-  std::cout << "\nBaseline: static H-graph (no reconfiguration), omniscient "
-               "adversary removes the neighborhoods of k victims:\n\n";
-  support::Table baseline({"victims", "removed", "removed_frac",
-                           "still_connected"});
-  support::Rng rng(seed);
-  const auto g = graph::HGraph::random(256, 8, rng);
-  for (const std::size_t victims : {1u, 2u, 4u}) {
-    std::unordered_set<std::size_t> removed;
-    for (std::size_t victim = 0; victim < victims; ++victim) {
-      // Victims spread along cycle 0, 50 apart, so neighborhoods are
-      // disjoint w.h.p.
-      std::size_t v = victim * 50;
-      for (auto w : g.neighbors(v)) removed.insert(w);
-    }
-    std::vector<sim::NodeId> nodes;
-    std::vector<std::pair<sim::NodeId, sim::NodeId>> edges;
-    for (std::size_t u = 0; u < 256; ++u) {
-      if (removed.contains(u)) continue;
-      nodes.push_back(u);
-      for (auto w : g.neighbors(u)) {
-        if (!removed.contains(w)) edges.emplace_back(u, w);
+    constexpr int kEpochs = 8;
+    support::Table table({"adversary", "epochs_ok", "connected",
+                          "members_end", "rounds/epoch", "max_kbits/nd/rd"});
+    const auto means = bench::sweep(
+        ctx, table, scenarios,
+        {"epochs_ok", "epochs_connected", "members_end", "rounds_per_epoch",
+         "max_kbits_per_node_round"},
+        [](const Scenario& scenario) { return scenario.name; },
+        [&](const Scenario& scenario, runtime::TrialContext& trial) {
+          churn::ChurnOverlay overlay(make_config(trial.derive_seed()));
+          auto adversary = scenario.make(trial.rng.split(1));
+          double ok = 0.0;
+          double connected = 0.0;
+          sim::Round rounds = 0;
+          std::uint64_t max_bits = 0;
+          for (int epoch = 0; epoch < kEpochs; ++epoch) {
+            if (scenario.topology_aware) {
+              // Omniscient adversary refreshes its view of a live cycle.
+              static_cast<adversary::SegmentChurn*>(adversary.get())
+                  ->set_order(overlay.cycle_order(0));
+            }
+            const auto report = overlay.run_epoch(*adversary);
+            ok += report.success ? 1.0 : 0.0;
+            connected += report.connected ? 1.0 : 0.0;
+            rounds = report.rounds;
+            max_bits = std::max(max_bits, report.max_node_bits_per_round);
+          }
+          return std::vector<double>{
+              ok, connected,
+              static_cast<double>(overlay.members().size()),
+              static_cast<double>(rounds),
+              static_cast<double>(max_bits) / 1000.0};
+        },
+        [&](const Scenario& scenario, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 2 : 0;
+          return std::vector<std::string>{
+              scenario.name,
+              support::Table::num(mean[0], digits) + "/" +
+                  support::Table::num(kEpochs),
+              support::Table::num(mean[1], digits) + "/" +
+                  support::Table::num(kEpochs),
+              support::Table::num(mean[2], digits),
+              support::Table::num(mean[3], digits),
+              support::Table::num(mean[4], 1)};
+        });
+    ctx.show("adversarial_churn", table);
+    for (const auto& mean : means) {
+      if (mean[1] < static_cast<double>(kEpochs)) {
+        std::cerr << "\noverlay disconnected under churn\n";
+        return EXIT_FAILURE;
       }
     }
-    baseline.add_row(
-        {support::Table::num(static_cast<std::uint64_t>(victims)),
-         support::Table::num(static_cast<std::uint64_t>(removed.size())),
-         support::Table::num(static_cast<double>(removed.size()) / 256.0, 3),
-         graph::is_connected(nodes, edges) ? "yes" : "NO (disconnected)"});
-  }
-  baseline.print(std::cout);
-  bench::interpretation(
-      "Every reconfiguring scenario stays connected through all epochs even "
-      "though ~30-50% of the membership turns over per epoch. The static "
-      "graph is disconnected by the departure of just d=8 targeted nodes "
-      "(~3% of the network): without reconfiguration, an omniscient "
-      "adversary simply strips one victim's neighborhood.");
-  return EXIT_SUCCESS;
+
+    // Baseline: a static H-graph with no repair. An omniscient adversary
+    // isolates a victim by prescribing exactly the victim's neighbors to
+    // leave — a vanishing fraction of the network.
+    std::cout << "\nBaseline: static H-graph (no reconfiguration), omniscient "
+                 "adversary removes the neighborhoods of k victims:\n\n";
+    support::Table baseline({"victims", "removed", "removed_frac",
+                             "still_connected"});
+    support::Rng rng(ctx.seed);
+    const auto g = graph::HGraph::random(256, 8, rng);
+    for (const std::size_t victims : {1u, 2u, 4u}) {
+      std::unordered_set<std::size_t> removed;
+      for (std::size_t victim = 0; victim < victims; ++victim) {
+        // Victims spread along cycle 0, 50 apart, so neighborhoods are
+        // disjoint w.h.p.
+        std::size_t v = victim * 50;
+        for (auto w : g.neighbors(v)) removed.insert(w);
+      }
+      std::vector<sim::NodeId> nodes;
+      std::vector<std::pair<sim::NodeId, sim::NodeId>> edges;
+      for (std::size_t u = 0; u < 256; ++u) {
+        if (removed.contains(u)) continue;
+        nodes.push_back(u);
+        for (auto w : g.neighbors(u)) {
+          if (!removed.contains(w)) edges.emplace_back(u, w);
+        }
+      }
+      baseline.add_row(
+          {support::Table::num(static_cast<std::uint64_t>(victims)),
+           support::Table::num(static_cast<std::uint64_t>(removed.size())),
+           support::Table::num(static_cast<double>(removed.size()) / 256.0,
+                               3),
+           graph::is_connected(nodes, edges) ? "yes" : "NO (disconnected)"});
+    }
+    ctx.show("static_baseline", baseline);
+    ctx.interpret(
+        "Every reconfiguring scenario stays connected through all epochs even "
+        "though ~30-50% of the membership turns over per epoch. The static "
+        "graph is disconnected by the departure of just d=8 targeted nodes "
+        "(~3% of the network): without reconfiguration, an omniscient "
+        "adversary simply strips one victim's neighborhood.");
+    return EXIT_SUCCESS;
+  });
 }

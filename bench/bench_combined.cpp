@@ -4,6 +4,7 @@
 // against a late (1/2-eps)-bounded adversary.
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "adversary/churn.hpp"
 #include "adversary/dos.hpp"
@@ -11,75 +12,99 @@
 #include "combined/overlay.hpp"
 #include "support/rng.hpp"
 
-int main() {
+namespace {
+
+struct Scenario {
+  double turnover;
+  double growth;
+  const char* label;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner(
-      "T6: combined churn + DoS (Lemma 18, Theorem 7)",
+  const bench::BenchSpec spec{
+      "T6_combined", "T6: combined churn + DoS (Lemma 18, Theorem 7)",
       "Claim: with churn rate gamma^{1/Theta(log log n)} and a late "
       "(1/2-eps)-bounded blocker, the split/merge overlay keeps "
-      "|d(x)-d(y)| <= 2 and stays connected.");
-
-  support::Table table({"churn/rd", "growth", "epochs_ok", "dim_spread_max",
-                        "splits", "merges", "members_end", "disconn_rounds"});
-
-  struct Scenario {
-    double turnover;
-    double growth;
-  };
-  const std::vector<Scenario> scenarios{
-      {0.0, 1.0},    // DoS only
-      {0.005, 1.0},  // steady turnover
-      {0.01, 2.0},   // growth
-      {0.005, 0.0},  // shrinkage
-  };
-
-  std::uint64_t seed = bench::kBenchSeed + 7;
-  for (const auto& scenario : scenarios) {
-    combined::CombinedOverlay::Config config;
-    config.initial_size = 1024;
-    config.group_c = 2.0;
-    config.seed = seed;
-    combined::CombinedOverlay overlay(config);
-
-    support::Rng churn_rng(seed + 1), dos_rng(seed + 2);
-    adversary::UniformChurn churn(scenario.turnover, scenario.growth, 4.0,
-                                  churn_rng);
-    adversary::IsolationDos dos_adversary(dos_rng);
-    combined::CombinedOverlay::Attack attack;
-    attack.adversary = &dos_adversary;
-    attack.blocked_fraction = 0.3;
-    attack.lateness = 60;
-
-    int ok = 0;
-    int spread = 0;
-    int splits = 0;
-    int merges = 0;
-    std::size_t disconnected = 0;
+      "|d(x)-d(y)| <= 2 and stays connected."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    const std::vector<Scenario> scenarios{
+        {0.0, 1.0, "DoS only"},
+        {0.005, 1.0, "steady turnover"},
+        {0.01, 2.0, "growth"},
+        {0.005, 0.0, "shrinkage"},
+    };
     constexpr int kEpochs = 6;
-    for (int epoch = 0; epoch < kEpochs; ++epoch) {
-      const auto report = overlay.run_epoch(churn, attack);
-      ok += report.success ? 1 : 0;
-      spread = std::max(spread,
-                        report.max_dimension - report.min_dimension);
-      splits += report.split_merge.splits;
-      merges += report.split_merge.merges;
-      disconnected += report.disconnected_rounds;
+
+    support::Table table({"churn/rd", "growth", "epochs_ok",
+                          "dim_spread_max", "splits", "merges", "members_end",
+                          "disconn_rounds"});
+    const auto means = bench::sweep(
+        ctx, table, scenarios,
+        {"epochs_ok", "dim_spread_max", "splits", "merges", "members_end",
+         "disconnected_rounds"},
+        [](const Scenario& scenario) { return std::string(scenario.label); },
+        [&](const Scenario& scenario, runtime::TrialContext& trial) {
+          combined::CombinedOverlay::Config config;
+          config.initial_size = 1024;
+          config.group_c = 2.0;
+          config.seed = trial.derive_seed();
+          combined::CombinedOverlay overlay(config);
+
+          adversary::UniformChurn churn(scenario.turnover, scenario.growth,
+                                        4.0, trial.rng.split(1));
+          adversary::IsolationDos dos_adversary(trial.rng.split(2));
+          combined::CombinedOverlay::Attack attack;
+          attack.adversary = &dos_adversary;
+          attack.blocked_fraction = 0.3;
+          attack.lateness = 60;
+
+          double ok = 0.0;
+          double spread = 0.0;
+          double splits = 0.0;
+          double merges = 0.0;
+          double disconnected = 0.0;
+          for (int epoch = 0; epoch < kEpochs; ++epoch) {
+            const auto report = overlay.run_epoch(churn, attack);
+            ok += report.success ? 1.0 : 0.0;
+            spread = std::max(
+                spread, static_cast<double>(report.max_dimension -
+                                            report.min_dimension));
+            splits += report.split_merge.splits;
+            merges += report.split_merge.merges;
+            disconnected += static_cast<double>(report.disconnected_rounds);
+          }
+          return std::vector<double>{
+              ok, spread, splits, merges,
+              static_cast<double>(overlay.size()), disconnected};
+        },
+        [&](const Scenario& scenario, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 2 : 0;
+          return std::vector<std::string>{
+              support::Table::num(scenario.turnover, 3),
+              support::Table::num(scenario.growth, 1),
+              support::Table::num(mean[0], digits) + "/" +
+                  support::Table::num(kEpochs),
+              support::Table::num(mean[1], digits),
+              support::Table::num(mean[2], digits),
+              support::Table::num(mean[3], digits),
+              support::Table::num(mean[4], digits),
+              support::Table::num(mean[5], digits)};
+        });
+    ctx.show("combined_sweep", table);
+    for (const auto& mean : means) {
+      if (mean[5] > 0.0) {
+        std::cerr << "\nnon-blocked nodes disconnected\n";
+        return EXIT_FAILURE;
+      }
     }
-    table.add_row(
-        {support::Table::num(scenario.turnover, 3),
-         support::Table::num(scenario.growth, 1),
-         support::Table::num(ok) + "/" + support::Table::num(kEpochs),
-         support::Table::num(spread), support::Table::num(splits),
-         support::Table::num(merges),
-         support::Table::num(static_cast<std::uint64_t>(overlay.size())),
-         support::Table::num(static_cast<std::uint64_t>(disconnected))});
-    seed += 100;
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "The dimension window never exceeds 2 (Lemma 18) even while the "
-      "network grows or shrinks by tens of percent per epoch under a 30% "
-      "blocking attack; splits fire under growth, merges under shrinkage, "
-      "and no round disconnects the non-blocked nodes (Theorem 7).");
-  return EXIT_SUCCESS;
+    ctx.interpret(
+        "The dimension window never exceeds 2 (Lemma 18) even while the "
+        "network grows or shrinks by tens of percent per epoch under a 30% "
+        "blocking attack; splits fire under growth, merges under shrinkage, "
+        "and no round disconnects the non-blocked nodes (Theorem 7).");
+    return EXIT_SUCCESS;
+  });
 }

@@ -13,152 +13,201 @@
 #include "bench/common.hpp"
 #include "support/rng.hpp"
 
-int main() {
-  using namespace reconfnet;
-  bench::banner(
-      "T8: robust DHT and publish-subscribe (Theorem 8)",
-      "Claim: any batch of O(1)-per-server reads/writes is served under "
-      "blocking with polylog rounds and congestion; reconfiguration does "
-      "not lose data.");
+namespace {
 
-  apps::KaryGroupedOverlay::Config config;
+reconfnet::apps::KaryGroupedOverlay::Config overlay_config(
+    std::uint64_t seed) {
+  reconfnet::apps::KaryGroupedOverlay::Config config;
   config.size = 1024;
   config.arity = 4;
   config.group_c = 2.0;
-  config.seed = bench::kBenchSeed + 9;
+  config.seed = seed;
+  return config;
+}
 
-  support::Table table({"blocked_frac", "write_ok", "read_ok", "rounds",
-                        "max_congestion", "post_reconf_read_ok"});
-  for (const double blocked_fraction : {0.0, 0.2, 0.35, 0.45}) {
-    apps::KaryGroupedOverlay overlay(config);
-    apps::RobustStore store(&overlay);
-    support::Rng rng(config.seed + 1);
+}  // namespace
 
-    const std::size_t pipeline =
-        static_cast<std::size_t>(overlay.cube().dimension()) + 2;
-    std::vector<sim::BlockedSet> blocked(pipeline);
-    for (auto& set : blocked) {
-      for (sim::NodeId node = 0; node < 1024; ++node) {
-        if (rng.bernoulli(blocked_fraction)) set.insert(node);
-      }
-    }
+int main(int argc, char** argv) {
+  using namespace reconfnet;
+  const bench::BenchSpec spec{
+      "T8_dht", "T8: robust DHT and publish-subscribe (Theorem 8)",
+      "Claim: any batch of O(1)-per-server reads/writes is served under "
+      "blocking with polylog rounds and congestion; reconfiguration does "
+      "not lose data."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    support::Table table({"blocked_frac", "write_ok", "read_ok", "rounds",
+                          "max_congestion", "post_reconf_read_ok"});
+    const std::vector<double> cells{0.0, 0.2, 0.35, 0.45};
+    bench::sweep(
+        ctx, table, cells,
+        {"write_ok_pct", "read_ok_pct", "rounds", "max_congestion",
+         "post_reconf_read_ok_pct"},
+        [](double blocked_fraction) {
+          return "blocked=" + support::Table::num(blocked_fraction, 2);
+        },
+        [&](double blocked_fraction, runtime::TrialContext& trial) {
+          apps::KaryGroupedOverlay overlay(
+              overlay_config(trial.derive_seed()));
+          apps::RobustStore store(&overlay);
+          auto rng = trial.rng.split(1);
 
-    // One request per server: the paper's load model.
-    std::vector<apps::RobustStore::Request> writes;
-    for (std::uint64_t key = 0; key < 1024; ++key) {
-      writes.push_back({true, key, key * 3});
-    }
-    const auto wrote = store.execute(writes, blocked, rng);
+          const std::size_t pipeline =
+              static_cast<std::size_t>(overlay.cube().dimension()) + 2;
+          std::vector<sim::BlockedSet> blocked(pipeline);
+          for (auto& set : blocked) {
+            for (sim::NodeId node = 0; node < 1024; ++node) {
+              if (rng.bernoulli(blocked_fraction)) set.insert(node);
+            }
+          }
 
-    std::vector<apps::RobustStore::Request> reads;
-    for (std::uint64_t key = 0; key < 1024; ++key) {
-      reads.push_back({false, key, 0});
-    }
-    const auto read = store.execute(reads, blocked, rng);
+          // One request per server: the paper's load model.
+          std::vector<apps::RobustStore::Request> writes;
+          for (std::uint64_t key = 0; key < 1024; ++key) {
+            writes.push_back({true, key, key * 3});
+          }
+          const auto wrote = store.execute(writes, blocked, rng);
 
-    // Reconfigure (no attack) and read everything back through the new
-    // groups; only keys whose write succeeded can be expected.
-    const auto epoch = store.reconfigure({});
-    const auto reread = store.execute(reads, blocked, rng);
-    const double post = epoch.success && wrote.write_ok > 0
-                            ? static_cast<double>(reread.read_ok) /
-                                  static_cast<double>(wrote.write_ok) * 100.0
-                            : 0.0;
+          std::vector<apps::RobustStore::Request> reads;
+          for (std::uint64_t key = 0; key < 1024; ++key) {
+            reads.push_back({false, key, 0});
+          }
+          const auto read = store.execute(reads, blocked, rng);
 
-    table.add_row(
-        {support::Table::num(blocked_fraction, 2),
-         support::Table::num(static_cast<double>(wrote.write_ok) / 10.24, 1) +
-             "%",
-         support::Table::num(static_cast<double>(read.read_ok) / 10.24, 1) +
-             "%",
-         support::Table::num(read.rounds),
-         support::Table::num(
-             static_cast<std::uint64_t>(read.max_group_congestion)),
-         support::Table::num(post, 1) + "%"});
-  }
-  table.print(std::cout);
+          // Reconfigure (no attack) and read everything back through the new
+          // groups; only keys whose write succeeded can be expected.
+          const auto epoch = store.reconfigure({});
+          const auto reread = store.execute(reads, blocked, rng);
+          const double post =
+              epoch.success && wrote.write_ok > 0
+                  ? static_cast<double>(reread.read_ok) /
+                        static_cast<double>(wrote.write_ok) * 100.0
+                  : 0.0;
+          return std::vector<double>{
+              static_cast<double>(wrote.write_ok) / 10.24,
+              static_cast<double>(read.read_ok) / 10.24,
+              static_cast<double>(read.rounds),
+              static_cast<double>(read.max_group_congestion), post};
+        },
+        [&](double blocked_fraction, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(blocked_fraction, 2),
+              support::Table::num(mean[0], 1) + "%",
+              support::Table::num(mean[1], 1) + "%",
+              support::Table::num(mean[2], digits),
+              support::Table::num(mean[3], digits),
+              support::Table::num(mean[4], 1) + "%"};
+        });
+    ctx.show("dht_batches", table);
 
-  // Publish-subscribe on top of the DHT.
-  std::cout << "\nPublish-subscribe emulation (Section 7.3):\n\n";
-  support::Table pubsub_table(
-      {"topics", "published", "fetched_complete", "rounds/publish"});
-  {
-    apps::KaryGroupedOverlay overlay(config);
-    apps::RobustStore store(&overlay);
-    apps::PubSub pubsub(&store);
-    support::Rng rng(config.seed + 2);
-    std::size_t published = 0;
-    std::size_t complete = 0;
-    sim::Round rounds = 0;
+    // Publish-subscribe on top of the DHT.
+    std::cout << "\nPublish-subscribe emulation (Section 7.3):\n\n";
     constexpr int kTopics = 20;
-    for (int topic = 0; topic < kTopics; ++topic) {
-      const std::vector<apps::PubSub::Payload> payloads{
-          static_cast<std::uint64_t>(topic * 10 + 1),
-          static_cast<std::uint64_t>(topic * 10 + 2),
-          static_cast<std::uint64_t>(topic * 10 + 3)};
-      const auto report = pubsub.publish(
-          static_cast<std::uint64_t>(topic), payloads, {}, rng);
-      published += report.published;
-      rounds = report.rounds;
-    }
-    (void)store.reconfigure({});
-    for (int topic = 0; topic < kTopics; ++topic) {
-      const auto fetched = pubsub.fetch_since(
-          static_cast<std::uint64_t>(topic), 0, {}, rng);
-      complete += (fetched.complete && fetched.payloads.size() == 3) ? 1u : 0u;
-    }
-    pubsub_table.add_row(
-        {support::Table::num(kTopics),
-         support::Table::num(static_cast<std::uint64_t>(published)),
-         support::Table::num(static_cast<std::uint64_t>(complete)) + "/" +
-             support::Table::num(kTopics),
-         support::Table::num(rounds)});
-  }
-  pubsub_table.print(std::cout);
+    support::Table pubsub_table(
+        {"topics", "published", "fetched_complete", "rounds/publish"});
+    const std::vector<int> pubsub_cells{kTopics};
+    bench::sweep(
+        ctx, pubsub_table, pubsub_cells,
+        {"published", "fetched_complete", "rounds_per_publish"},
+        [](int topics) {
+          return "pubsub_topics=" + support::Table::num(topics);
+        },
+        [&](int topics, runtime::TrialContext& trial) {
+          apps::KaryGroupedOverlay overlay(
+              overlay_config(trial.derive_seed()));
+          apps::RobustStore store(&overlay);
+          apps::PubSub pubsub(&store);
+          auto rng = trial.rng.split(1);
+          std::size_t published = 0;
+          std::size_t complete = 0;
+          sim::Round rounds = 0;
+          for (int topic = 0; topic < topics; ++topic) {
+            const std::vector<apps::PubSub::Payload> payloads{
+                static_cast<std::uint64_t>(topic * 10 + 1),
+                static_cast<std::uint64_t>(topic * 10 + 2),
+                static_cast<std::uint64_t>(topic * 10 + 3)};
+            const auto report = pubsub.publish(
+                static_cast<std::uint64_t>(topic), payloads, {}, rng);
+            published += report.published;
+            rounds = report.rounds;
+          }
+          (void)store.reconfigure({});
+          for (int topic = 0; topic < topics; ++topic) {
+            const auto fetched = pubsub.fetch_since(
+                static_cast<std::uint64_t>(topic), 0, {}, rng);
+            complete +=
+                (fetched.complete && fetched.payloads.size() == 3) ? 1u : 0u;
+          }
+          return std::vector<double>{static_cast<double>(published),
+                                     static_cast<double>(complete),
+                                     static_cast<double>(rounds)};
+        },
+        [&](int topics, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(topics),
+              support::Table::num(mean[0], digits),
+              support::Table::num(mean[1], digits) + "/" +
+                  support::Table::num(topics),
+              support::Table::num(mean[2], digits)};
+        });
+    ctx.show("pubsub", pubsub_table);
 
-  // Aggregated publication (the paper's Ranade-style combining): every
-  // group publishes to ONE hot topic; congestion with vs without combining.
-  std::cout << "\nAggregated hot-topic publish (combining vs naive):\n\n";
-  support::Table agg_table({"publications", "published", "rounds",
-                            "combined_cong", "naive_cong", "reduction"});
-  {
-    apps::KaryGroupedOverlay overlay(config);
-    apps::RobustStore store(&overlay);
-    apps::PubSub pubsub(&store);
-    support::Rng rng(config.seed + 3);
-    for (const int per_group : {1, 4, 16}) {
-      std::vector<apps::PubSub::BatchPublication> batch;
-      for (std::uint64_t g = 0; g < overlay.cube().size(); ++g) {
-        for (int i = 0; i < per_group; ++i) {
-          batch.push_back({g, 1000 + static_cast<std::uint64_t>(per_group),
-                           g * 100 + static_cast<std::uint64_t>(i)});
-        }
-      }
-      const auto report = pubsub.aggregate_publish(batch, {}, rng);
-      agg_table.add_row(
-          {support::Table::num(static_cast<std::uint64_t>(batch.size())),
-           support::Table::num(static_cast<std::uint64_t>(report.published)),
-           support::Table::num(report.rounds),
-           support::Table::num(
-               static_cast<std::uint64_t>(report.combined_congestion)),
-           support::Table::num(
-               static_cast<std::uint64_t>(report.naive_congestion)),
-           support::Table::num(
-               static_cast<double>(report.naive_congestion) /
-                   static_cast<double>(std::max<std::size_t>(
-                       report.combined_congestion, 1)),
-               1) +
-               "x"});
-    }
-  }
-  agg_table.print(std::cout);
-  bench::interpretation(
-      "Writes and reads succeed at ~100% through 35% blocking (group "
-      "redundancy bridges every routing hop), rounds stay at dimension+1, "
-      "and congestion is far below the batch size. All records and all "
-      "publications survive a reconfiguration — the RoBuSt-lite contract of "
-      "Theorem 8. The aggregated publish shows the Section 7.3 combining "
-      "effect: naive hot-topic congestion grows with the batch while the "
-      "combined tree congestion stays near the in-degree of the home group.");
-  return EXIT_SUCCESS;
+    // Aggregated publication (the paper's Ranade-style combining): every
+    // group publishes to ONE hot topic; congestion with vs without combining.
+    std::cout << "\nAggregated hot-topic publish (combining vs naive):\n\n";
+    support::Table agg_table({"publications", "published", "rounds",
+                              "combined_cong", "naive_cong", "reduction"});
+    const std::vector<int> agg_cells{1, 4, 16};
+    bench::sweep(
+        ctx, agg_table, agg_cells,
+        {"publications", "published", "rounds", "combined_congestion",
+         "naive_congestion"},
+        [](int per_group) {
+          return "agg_per_group=" + support::Table::num(per_group);
+        },
+        [&](int per_group, runtime::TrialContext& trial) {
+          apps::KaryGroupedOverlay overlay(
+              overlay_config(trial.derive_seed()));
+          apps::RobustStore store(&overlay);
+          apps::PubSub pubsub(&store);
+          auto rng = trial.rng.split(1);
+          std::vector<apps::PubSub::BatchPublication> batch;
+          for (std::uint64_t g = 0; g < overlay.cube().size(); ++g) {
+            for (int i = 0; i < per_group; ++i) {
+              batch.push_back({g, 1000 + static_cast<std::uint64_t>(per_group),
+                               g * 100 + static_cast<std::uint64_t>(i)});
+            }
+          }
+          const auto report = pubsub.aggregate_publish(batch, {}, rng);
+          return std::vector<double>{
+              static_cast<double>(batch.size()),
+              static_cast<double>(report.published),
+              static_cast<double>(report.rounds),
+              static_cast<double>(report.combined_congestion),
+              static_cast<double>(report.naive_congestion)};
+        },
+        [&](int per_group, const std::vector<double>& mean) {
+          (void)per_group;
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(mean[0], digits),
+              support::Table::num(mean[1], digits),
+              support::Table::num(mean[2], digits),
+              support::Table::num(mean[3], digits),
+              support::Table::num(mean[4], digits),
+              support::Table::num(mean[4] / std::max(mean[3], 1.0), 1) + "x"};
+        });
+    ctx.show("aggregate_publish", agg_table);
+    ctx.interpret(
+        "Writes and reads succeed at ~100% through 35% blocking (group "
+        "redundancy bridges every routing hop), rounds stay at dimension+1, "
+        "and congestion is far below the batch size. All records and all "
+        "publications survive a reconfiguration — the RoBuSt-lite contract "
+        "of Theorem 8. The aggregated publish shows the Section 7.3 "
+        "combining effect: naive hot-topic congestion grows with the batch "
+        "while the combined tree congestion stays near the in-degree of the "
+        "home group.");
+    return EXIT_SUCCESS;
+  });
 }

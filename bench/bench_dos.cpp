@@ -27,99 +27,125 @@ dos::DosOverlay::Config make_config(std::uint64_t seed) {
   return config;
 }
 
+std::unique_ptr<adversary::DosAdversary> make_adversary(
+    const std::string& kind, support::Rng rng) {
+  if (kind == "isolation") {
+    return std::make_unique<adversary::IsolationDos>(rng);
+  }
+  if (kind == "group-wipe") {
+    return std::make_unique<adversary::GroupWipeDos>(rng);
+  }
+  return std::make_unique<adversary::RandomDos>(rng);
+}
+
+struct Cell {
+  std::string strategy;
+  int lateness = 0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner(
-      "T5: DoS survival vs adversary lateness (Theorem 6)",
+  const bench::BenchSpec spec{
+      "T5_dos", "T5: DoS survival vs adversary lateness (Theorem 6)",
       "Claim: a (1/2-eps)-bounded adversary with Omega(log log n)-late "
       "topology information cannot disconnect the reconfiguring overlay; "
-      "fresher information (or a static overlay) breaks it.");
+      "fresher information (or a static overlay) breaks it."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    constexpr double kBlockedFraction = 0.35;
+    constexpr int kEpochs = 4;
 
-  constexpr double kBlockedFraction = 0.35;
-  constexpr int kEpochs = 4;
-
-  struct Strategy {
-    std::string name;
-    std::function<std::unique_ptr<adversary::DosAdversary>(support::Rng)>
-        make;
-  };
-  const std::vector<Strategy> strategies{
-      {"isolation",
-       [](support::Rng rng) {
-         return std::make_unique<adversary::IsolationDos>(rng);
-       }},
-      {"group-wipe",
-       [](support::Rng rng) {
-         return std::make_unique<adversary::GroupWipeDos>(rng);
-       }},
-      {"random",
-       [](support::Rng rng) {
-         return std::make_unique<adversary::RandomDos>(rng);
-       }},
-  };
-
-  support::Table table({"adversary", "lateness", "epochs_ok",
-                        "silenced_grp_rounds", "disconnected_rounds",
-                        "min_avail"});
-  std::uint64_t seed = bench::kBenchSeed + 6;
-  for (const auto& strategy : strategies) {
-    for (const int lateness : {0, 8, 16, 32, 64}) {
-      dos::DosOverlay overlay(make_config(seed));
-      auto adversary = strategy.make(support::Rng(seed + 1));
-      dos::DosOverlay::Attack attack;
-      attack.adversary = adversary.get();
-      attack.lateness = lateness;
-      attack.blocked_fraction = kBlockedFraction;
-      int ok = 0;
-      std::size_t silenced = 0;
-      std::size_t disconnected = 0;
-      double min_avail = 1.0;
-      for (int epoch = 0; epoch < kEpochs; ++epoch) {
-        const auto report = overlay.run_epoch(attack);
-        ok += report.success ? 1 : 0;
-        silenced += report.silenced_group_rounds;
-        disconnected += report.disconnected_rounds;
-        min_avail = std::min(min_avail, report.min_available_fraction);
+    std::vector<Cell> cells;
+    for (const std::string strategy : {"isolation", "group-wipe", "random"}) {
+      for (const int lateness : {0, 8, 16, 32, 64}) {
+        cells.push_back({strategy, lateness});
       }
-      table.add_row(
-          {strategy.name, support::Table::num(lateness),
-           support::Table::num(ok) + "/" + support::Table::num(kEpochs),
-           support::Table::num(static_cast<std::uint64_t>(silenced)),
-           support::Table::num(static_cast<std::uint64_t>(disconnected)),
-           support::Table::num(min_avail, 3)});
-      seed += 10;
     }
-  }
-  table.print(std::cout);
 
-  std::cout << "\nBaseline: static overlay (no reconfiguration), isolation "
-               "adversary, 80 rounds (long enough for even a 64-late view "
-               "to become available):\n\n";
-  support::Table baseline({"lateness", "disconnected_rounds", "survived"});
-  for (const int lateness : {0, 64}) {
-    dos::DosOverlay overlay(make_config(seed));
-    support::Rng rng(seed + 1);
-    adversary::IsolationDos adversary(rng);
-    dos::DosOverlay::Attack attack;
-    attack.adversary = &adversary;
-    attack.lateness = lateness;
-    attack.blocked_fraction = kBlockedFraction;
-    const auto report = overlay.run_static(attack, 80);
-    baseline.add_row({support::Table::num(lateness),
-                      support::Table::num(static_cast<std::uint64_t>(
-                          report.disconnected_rounds)),
-                      report.success ? "yes" : "NO"});
-    seed += 10;
-  }
-  baseline.print(std::cout);
-  bench::interpretation(
-      "Crossover: at lateness 0 the targeted strategies silence groups and "
-      "disconnect non-blocked nodes; from roughly 2t (= 32 rounds here, two "
-      "epoch lengths) onward every epoch succeeds — matching Theorem 6's "
-      "Omega(log log n)-lateness requirement. The static overlay falls to "
-      "the isolation attack at ANY lateness, because its topology never "
-      "changes and stale information stays accurate forever.");
-  return EXIT_SUCCESS;
+    support::Table table({"adversary", "lateness", "epochs_ok",
+                          "silenced_grp_rounds", "disconnected_rounds",
+                          "min_avail"});
+    bench::sweep(
+        ctx, table, cells,
+        {"epochs_ok", "silenced_group_rounds", "disconnected_rounds",
+         "min_available_fraction"},
+        [](const Cell& cell) {
+          return cell.strategy + "/lateness=" +
+                 support::Table::num(cell.lateness);
+        },
+        [&](const Cell& cell, runtime::TrialContext& trial) {
+          dos::DosOverlay overlay(make_config(trial.derive_seed()));
+          auto adversary =
+              make_adversary(cell.strategy, trial.rng.split(1));
+          dos::DosOverlay::Attack attack;
+          attack.adversary = adversary.get();
+          attack.lateness = cell.lateness;
+          attack.blocked_fraction = kBlockedFraction;
+          double ok = 0.0;
+          double silenced = 0.0;
+          double disconnected = 0.0;
+          double min_avail = 1.0;
+          for (int epoch = 0; epoch < kEpochs; ++epoch) {
+            const auto report = overlay.run_epoch(attack);
+            ok += report.success ? 1.0 : 0.0;
+            silenced += static_cast<double>(report.silenced_group_rounds);
+            disconnected +=
+                static_cast<double>(report.disconnected_rounds);
+            min_avail =
+                std::min(min_avail, report.min_available_fraction);
+          }
+          return std::vector<double>{ok, silenced, disconnected, min_avail};
+        },
+        [&](const Cell& cell, const std::vector<double>& mean) {
+          return std::vector<std::string>{
+              cell.strategy, support::Table::num(cell.lateness),
+              support::Table::num(mean[0], ctx.reps > 1 ? 2 : 0) + "/" +
+                  support::Table::num(kEpochs),
+              support::Table::num(mean[1], ctx.reps > 1 ? 1 : 0),
+              support::Table::num(mean[2], ctx.reps > 1 ? 1 : 0),
+              support::Table::num(mean[3], 3)};
+        });
+    ctx.show("lateness_sweep", table);
+
+    std::cout << "\nBaseline: static overlay (no reconfiguration), isolation "
+                 "adversary, 80 rounds (long enough for even a 64-late view "
+                 "to become available):\n\n";
+    support::Table baseline({"lateness", "disconnected_rounds", "survived"});
+    const std::vector<Cell> static_cells{{"isolation", 0}, {"isolation", 64}};
+    bench::sweep(
+        ctx, baseline, static_cells,
+        {"disconnected_rounds", "survived"},
+        [](const Cell& cell) {
+          return "static/lateness=" + support::Table::num(cell.lateness);
+        },
+        [&](const Cell& cell, runtime::TrialContext& trial) {
+          dos::DosOverlay overlay(make_config(trial.derive_seed()));
+          adversary::IsolationDos adversary(trial.rng.split(1));
+          dos::DosOverlay::Attack attack;
+          attack.adversary = &adversary;
+          attack.lateness = cell.lateness;
+          attack.blocked_fraction = kBlockedFraction;
+          const auto report = overlay.run_static(attack, 80);
+          return std::vector<double>{
+              static_cast<double>(report.disconnected_rounds),
+              report.success ? 1.0 : 0.0};
+        },
+        [&](const Cell& cell, const std::vector<double>& mean) {
+          return std::vector<std::string>{
+              support::Table::num(cell.lateness),
+              support::Table::num(mean[0], ctx.reps > 1 ? 1 : 0),
+              mean[1] >= 1.0 ? "yes" : "NO"};
+        });
+    baseline.print(std::cout);
+    ctx.results->add_table("static_baseline", baseline);
+    ctx.interpret(
+        "Crossover: at lateness 0 the targeted strategies silence groups and "
+        "disconnect non-blocked nodes; from roughly 2t (= 32 rounds here, two "
+        "epoch lengths) onward every epoch succeeds — matching Theorem 6's "
+        "Omega(log log n)-lateness requirement. The static overlay falls to "
+        "the isolation attack at ANY lateness, because its topology never "
+        "changes and stale information stays accurate forever.");
+    return EXIT_SUCCESS;
+  });
 }

@@ -3,6 +3,10 @@
 // document where the simulator's time goes.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "graph/connectivity.hpp"
 #include "graph/hgraph.hpp"
 #include "graph/hypercube.hpp"
@@ -101,3 +105,40 @@ void BM_ChiSquare(benchmark::State& state) {
 BENCHMARK(BM_ChiSquare);
 
 }  // namespace
+
+// Custom main so this binary accepts the same uniform flags as the other
+// bench binaries (--reps/--json/--jobs/--seed), translated onto
+// google-benchmark's own options. --jobs and --seed are accepted but no-ops:
+// the micro-benchmarks are single-process and use fixed internal seeds.
+int main(int argc, char** argv) {
+  std::vector<std::string> translated;
+  translated.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) {
+      translated.push_back(std::string("--benchmark_repetitions=") +
+                           argv[++i]);
+    } else if (arg == "--json") {
+      std::string path = "BENCH_M1_micro.json";
+      if (i + 1 < argc &&
+          std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        path = argv[++i];
+      }
+      translated.push_back("--benchmark_out=" + path);
+      translated.emplace_back("--benchmark_out_format=json");
+    } else if ((arg == "--jobs" || arg == "--seed") && i + 1 < argc) {
+      ++i;
+    } else {
+      translated.emplace_back(arg);
+    }
+  }
+  std::vector<char*> c_args;
+  c_args.reserve(translated.size());
+  for (auto& s : translated) c_args.push_back(s.data());
+  int c_argc = static_cast<int>(c_args.size());
+  benchmark::Initialize(&c_argc, c_args.data());
+  if (benchmark::ReportUnrecognizedArguments(c_argc, c_args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

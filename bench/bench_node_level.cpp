@@ -12,53 +12,82 @@
 #include "dos/node_sim.hpp"
 #include "support/rng.hpp"
 
-int main() {
+namespace {
+
+struct Cell {
+  std::size_t n;
+  double blocked_fraction;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner(
+  const bench::BenchSpec spec{
+      "V1_node_level",
       "V1 (validation): node-level group simulation (Section 5, verbatim)",
       "Every available representative simulates its supernode, the lowest-id "
       "available candidate wins, state broadcasts resync blocked nodes; all "
-      "bits are metered for real.");
-
-  support::Table table({"n", "d", "blocked", "ok", "rounds", "resyncs",
-                        "max_kbits/nd/rd", "consistent"});
-  for (const std::size_t n : {128u, 256u, 512u}) {
-    for (const double blocked_fraction : {0.0, 0.25}) {
-      support::Rng rng(bench::kBenchSeed + n +
-                       static_cast<std::uint64_t>(blocked_fraction * 100));
-      std::vector<sim::NodeId> ids(n);
-      for (std::size_t i = 0; i < n; ++i) ids[i] = i;
-      const int d = n >= 512 ? 4 : 3;
-      const auto groups = dos::GroupTable::random(d, ids, rng);
-
-      std::vector<sim::BlockedSet> blocked(40);
-      for (auto& set : blocked) {
-        for (sim::NodeId node = 0; node < n; ++node) {
-          if (rng.bernoulli(blocked_fraction)) set.insert(node);
-        }
+      "bits are metered for real."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    support::Table table({"n", "d", "blocked", "ok", "rounds", "resyncs",
+                          "max_kbits/nd/rd", "consistent"});
+    std::vector<Cell> cells;
+    for (const std::size_t n : {128u, 256u, 512u}) {
+      for (const double blocked_fraction : {0.0, 0.25}) {
+        cells.push_back({n, blocked_fraction});
       }
-      auto run_rng = rng.split(1);
-      const auto report =
-          dos::run_node_level_epoch(groups, {}, blocked, run_rng);
-      table.add_row(
-          {support::Table::num(static_cast<std::uint64_t>(n)),
-           support::Table::num(d),
-           support::Table::num(blocked_fraction, 2),
-           report.success ? "yes" : report.failure_reason,
-           support::Table::num(report.rounds),
-           support::Table::num(static_cast<std::uint64_t>(report.resyncs)),
-           support::Table::num(
-               static_cast<double>(report.max_node_bits_per_round) / 1000.0,
-               1),
-           report.knowledge_consistent ? "yes" : "NO"});
     }
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "The verbatim protocol reorganizes in the same round count the "
-      "group-level fast path charges, every replica of every supernode "
-      "agrees on the final state, and under 25% blocking the resync counter "
-      "shows the per-round S(x) broadcast doing exactly the job the paper "
-      "assigns it: re-admitting formerly blocked nodes to the simulation.");
-  return EXIT_SUCCESS;
+    bench::sweep(
+        ctx, table, cells,
+        {"ok", "rounds", "resyncs", "max_kbits_per_node_round", "consistent"},
+        [](const Cell& cell) {
+          return "n=" +
+                 support::Table::num(static_cast<std::uint64_t>(cell.n)) +
+                 ",blocked=" + support::Table::num(cell.blocked_fraction, 2);
+        },
+        [&](const Cell& cell, runtime::TrialContext& trial) {
+          std::vector<sim::NodeId> ids(cell.n);
+          for (std::size_t i = 0; i < cell.n; ++i) ids[i] = i;
+          const int d = cell.n >= 512 ? 4 : 3;
+          auto rng = trial.rng.split(0);
+          const auto groups = dos::GroupTable::random(d, ids, rng);
+
+          std::vector<sim::BlockedSet> blocked(40);
+          for (auto& set : blocked) {
+            for (sim::NodeId node = 0; node < cell.n; ++node) {
+              if (rng.bernoulli(cell.blocked_fraction)) set.insert(node);
+            }
+          }
+          auto run_rng = trial.rng.split(1);
+          const auto report =
+              dos::run_node_level_epoch(groups, {}, blocked, run_rng);
+          return std::vector<double>{
+              report.success ? 1.0 : 0.0, static_cast<double>(report.rounds),
+              static_cast<double>(report.resyncs),
+              static_cast<double>(report.max_node_bits_per_round) / 1000.0,
+              report.knowledge_consistent ? 1.0 : 0.0};
+        },
+        [&](const Cell& cell, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(static_cast<std::uint64_t>(cell.n)),
+              support::Table::num(cell.n >= 512 ? 4 : 3),
+              support::Table::num(cell.blocked_fraction, 2),
+              mean[0] >= 1.0 ? "yes" : support::Table::num(mean[0], 2),
+              support::Table::num(mean[1], digits),
+              support::Table::num(mean[2], digits),
+              support::Table::num(mean[3], 1),
+              mean[4] >= 1.0 ? "yes" : "NO"};
+        });
+    ctx.show("node_level_validation", table);
+    ctx.interpret(
+        "The verbatim protocol reorganizes in the same round count the "
+        "group-level fast path charges, every replica of every supernode "
+        "agrees on the final state, and under 25% blocking the resync "
+        "counter shows the per-round S(x) broadcast doing exactly the job "
+        "the paper assigns it: re-admitting formerly blocked nodes to the "
+        "simulation.");
+    return EXIT_SUCCESS;
+  });
 }

@@ -5,63 +5,79 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "churn/reconfigure.hpp"
 #include "graph/hgraph.hpp"
 #include "support/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner("F2: Phase 1 congestion and empty segments (Lemmas 11/12)",
-                "Claim: max times a node is chosen and the largest empty "
-                "segment both stay polylogarithmic in n.");
+  const bench::BenchSpec spec{
+      "F2_reconfig_structure",
+      "F2: Phase 1 congestion and empty segments (Lemmas 11/12)",
+      "Claim: max times a node is chosen and the largest empty segment both "
+      "stay polylogarithmic in n."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    support::Table table({"n", "log2(n)", "log2^2(n)", "max_chosen",
+                          "max_empty_seg", "active_frac"});
+    const std::vector<std::size_t> cells{64, 128, 256, 512, 1024, 2048};
+    bench::sweep(
+        ctx, table, cells, {"max_chosen", "max_empty_segment", "active_frac"},
+        [](std::size_t n) {
+          return "n=" + support::Table::num(static_cast<std::uint64_t>(n));
+        },
+        [&](std::size_t n, runtime::TrialContext& trial) {
+          auto graph_rng = trial.rng.split(0);
+          const auto g = graph::HGraph::random(n, 8, graph_rng);
+          churn::ReconfigInput input;
+          input.topology = &g;
+          input.members.resize(n);
+          for (std::size_t v = 0; v < n; ++v) input.members[v] = v;
+          input.leaving.assign(n, false);
+          input.joiners.assign(n, {});
+          input.sampling.c = 2.0;
+          input.estimate = sampling::SizeEstimate::from_true_size(n);
 
-  support::Table table({"n", "log2(n)", "log2^2(n)", "max_chosen",
-                        "max_empty_seg", "active_frac"});
-  support::Rng rng(bench::kBenchSeed + 4);
-
-  for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
-    const auto g = graph::HGraph::random(n, 8, rng);
-    churn::ReconfigInput input;
-    input.topology = &g;
-    input.members.resize(n);
-    for (std::size_t v = 0; v < n; ++v) input.members[v] = v;
-    input.leaving.assign(n, false);
-    input.joiners.assign(n, {});
-    input.sampling.c = 2.0;
-    input.estimate = sampling::SizeEstimate::from_true_size(n);
-
-    std::size_t max_chosen = 0;
-    std::size_t max_empty = 0;
-    double active = 0.0;
-    int ok_runs = 0;
-    for (int run = 0; run < 3; ++run) {
-      auto run_rng = rng.split(static_cast<std::uint64_t>(run));
-      const auto result = churn::reconfigure(input, run_rng);
-      if (!result.success) continue;
-      ++ok_runs;
-      for (const auto& stats : result.cycle_stats) {
-        max_chosen = std::max(max_chosen, stats.max_times_chosen);
-        max_empty = std::max(max_empty, stats.max_empty_segment);
-        active += static_cast<double>(stats.active_nodes) /
-                  static_cast<double>(n);
-      }
-    }
-    const double log_n = std::log2(static_cast<double>(n));
-    table.add_row({support::Table::num(static_cast<std::uint64_t>(n)),
-                   support::Table::num(log_n, 1),
-                   support::Table::num(log_n * log_n, 1),
-                   support::Table::num(static_cast<std::uint64_t>(max_chosen)),
-                   support::Table::num(static_cast<std::uint64_t>(max_empty)),
-                   support::Table::num(
-                       ok_runs > 0 ? active / (4.0 * ok_runs) : 0.0, 3)});
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "Both structural quantities track log n (well below log^2 n) while n "
-      "grows 32x — the polylog bounds of Lemmas 11 and 12 hold with small "
-      "constants, which is what lets Phase 3 bridge empty segments in "
-      "O(log log n) doubling steps.");
-  return EXIT_SUCCESS;
+          std::size_t max_chosen = 0;
+          std::size_t max_empty = 0;
+          double active = 0.0;
+          int ok_runs = 0;
+          for (int run = 0; run < 3; ++run) {
+            auto run_rng =
+                trial.rng.split(1 + static_cast<std::uint64_t>(run));
+            const auto result = churn::reconfigure(input, run_rng);
+            if (!result.success) continue;
+            ++ok_runs;
+            for (const auto& stats : result.cycle_stats) {
+              max_chosen = std::max(max_chosen, stats.max_times_chosen);
+              max_empty = std::max(max_empty, stats.max_empty_segment);
+              active += static_cast<double>(stats.active_nodes) /
+                        static_cast<double>(n);
+            }
+          }
+          return std::vector<double>{
+              static_cast<double>(max_chosen), static_cast<double>(max_empty),
+              ok_runs > 0 ? active / (4.0 * ok_runs) : 0.0};
+        },
+        [&](std::size_t n, const std::vector<double>& mean) {
+          const double log_n = std::log2(static_cast<double>(n));
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(static_cast<std::uint64_t>(n)),
+              support::Table::num(log_n, 1),
+              support::Table::num(log_n * log_n, 1),
+              support::Table::num(mean[0], digits),
+              support::Table::num(mean[1], digits),
+              support::Table::num(mean[2], 3)};
+        });
+    ctx.show("phase1_structure", table);
+    ctx.interpret(
+        "Both structural quantities track log n (well below log^2 n) while n "
+        "grows 32x — the polylog bounds of Lemmas 11 and 12 hold with small "
+        "constants, which is what lets Phase 3 bridge empty segments in "
+        "O(log log n) doubling steps.");
+    return EXIT_SUCCESS;
+  });
 }

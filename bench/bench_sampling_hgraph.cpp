@@ -1,8 +1,10 @@
 // Experiment T1 (Theorem 2): Algorithm 1 on H-graphs — success w.h.p. with
 // the Lemma 7 schedule, O(log log n) rounds, >= beta log n samples per node,
 // and per-node per-round communication work O(log^{2+log(2+eps)} n).
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "graph/hgraph.hpp"
@@ -10,61 +12,89 @@
 #include "sampling/schedule.hpp"
 #include "support/rng.hpp"
 
-int main() {
+namespace {
+
+struct Cell {
+  std::size_t n;
+  double epsilon;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner("T1: Algorithm 1 on H-graphs (Theorem 2)",
-                "Claim: with m_i = (2+eps)^{T-i} c log n the algorithm "
-                "succeeds w.h.p., runs O(log log n) rounds and uses polylog "
-                "communication work per node per round.");
-
-  support::Table table({"n", "eps", "c", "runs_ok", "rounds", "samples/node",
-                        "max_kbits/nd/rd", "dry_events"});
-  support::Rng rng(bench::kBenchSeed + 1);
-  constexpr int kRuns = 3;
-
-  for (const std::size_t n : {256u, 1024u, 2048u}) {
-    for (const double epsilon : {0.5, 1.0}) {
-      // Lemma 7/9 couple c to eps: the smaller the schedule slack, the
-      // larger the constant must be for the Chernoff margin to hold.
-      const double c_for_eps = epsilon < 0.75 ? 8.0 : 2.0;
-      const auto estimate = sampling::SizeEstimate::from_true_size(n);
-      sampling::SamplingConfig config;
-      config.epsilon = epsilon;
-      config.c = c_for_eps;
-      const auto schedule = sampling::hgraph_schedule(estimate, 8, config);
-      const auto g = graph::HGraph::random(n, 8, rng);
-
-      int ok = 0;
-      sim::Round rounds = 0;
-      std::uint64_t max_bits = 0;
-      std::size_t dry = 0;
-      std::size_t samples = 0;
-      for (int run = 0; run < kRuns; ++run) {
-        auto run_rng = rng.split(static_cast<std::uint64_t>(run));
-        const auto result =
-            sampling::run_hgraph_sampling(g, schedule, run_rng);
-        ok += result.success ? 1 : 0;
-        rounds = result.rounds;
-        max_bits = std::max(max_bits, result.max_node_bits_per_round);
-        dry += result.dry_events;
-        samples = result.samples.front().size();
-      }
-      table.add_row({support::Table::num(static_cast<std::uint64_t>(n)),
-                     support::Table::num(epsilon, 2),
-                     support::Table::num(c_for_eps, 1),
-                     support::Table::num(ok) + "/" +
-                         support::Table::num(kRuns),
-                     support::Table::num(rounds),
-                     support::Table::num(static_cast<std::uint64_t>(samples)),
-                     support::Table::num(
-                         static_cast<double>(max_bits) / 1000.0, 1),
-                     support::Table::num(static_cast<std::uint64_t>(dry))});
+  const bench::BenchSpec spec{
+      "T1_sampling_hgraph", "T1: Algorithm 1 on H-graphs (Theorem 2)",
+      "Claim: with m_i = (2+eps)^{T-i} c log n the algorithm succeeds "
+      "w.h.p., runs O(log log n) rounds and uses polylog communication work "
+      "per node per round."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    support::Table table({"n", "eps", "c", "runs_ok", "rounds",
+                          "samples/node", "max_kbits/nd/rd", "dry_events"});
+    constexpr int kRuns = 3;
+    std::vector<Cell> cells;
+    for (const std::size_t n : {256u, 1024u, 2048u}) {
+      for (const double epsilon : {0.5, 1.0}) cells.push_back({n, epsilon});
     }
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "All runs succeed (no multiset ever runs dry), round counts step up "
-      "with log log n, and the per-node work grows polylogarithmically — "
-      "the eps/c trade-off of Lemma 7 is visible in the work column.");
-  return EXIT_SUCCESS;
+    bench::sweep(
+        ctx, table, cells,
+        {"runs_ok", "rounds", "samples_per_node", "max_kbits_per_node_round",
+         "dry_events"},
+        [](const Cell& cell) {
+          return "n=" +
+                 support::Table::num(static_cast<std::uint64_t>(cell.n)) +
+                 ",eps=" + support::Table::num(cell.epsilon, 2);
+        },
+        [&](const Cell& cell, runtime::TrialContext& trial) {
+          // Lemma 7/9 couple c to eps: the smaller the schedule slack, the
+          // larger the constant must be for the Chernoff margin to hold.
+          const double c_for_eps = cell.epsilon < 0.75 ? 8.0 : 2.0;
+          const auto estimate = sampling::SizeEstimate::from_true_size(cell.n);
+          sampling::SamplingConfig config;
+          config.epsilon = cell.epsilon;
+          config.c = c_for_eps;
+          const auto schedule = sampling::hgraph_schedule(estimate, 8, config);
+          auto graph_rng = trial.rng.split(0);
+          const auto g = graph::HGraph::random(cell.n, 8, graph_rng);
+
+          double ok = 0.0;
+          double rounds = 0.0;
+          double max_kbits = 0.0;
+          double dry = 0.0;
+          double samples = 0.0;
+          for (int run = 0; run < kRuns; ++run) {
+            auto run_rng =
+                trial.rng.split(1 + static_cast<std::uint64_t>(run));
+            const auto result =
+                sampling::run_hgraph_sampling(g, schedule, run_rng);
+            ok += result.success ? 1.0 : 0.0;
+            rounds = static_cast<double>(result.rounds);
+            max_kbits = std::max(
+                max_kbits,
+                static_cast<double>(result.max_node_bits_per_round) / 1000.0);
+            dry += static_cast<double>(result.dry_events);
+            samples = static_cast<double>(result.samples.front().size());
+          }
+          return std::vector<double>{ok, rounds, samples, max_kbits, dry};
+        },
+        [&](const Cell& cell, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(static_cast<std::uint64_t>(cell.n)),
+              support::Table::num(cell.epsilon, 2),
+              support::Table::num(cell.epsilon < 0.75 ? 8.0 : 2.0, 1),
+              support::Table::num(mean[0], digits) + "/" +
+                  support::Table::num(kRuns),
+              support::Table::num(mean[1], digits),
+              support::Table::num(mean[2], digits),
+              support::Table::num(mean[3], 1),
+              support::Table::num(mean[4], digits)};
+        });
+    ctx.show("hgraph_sampling", table);
+    ctx.interpret(
+        "All runs succeed (no multiset ever runs dry), round counts step up "
+        "with log log n, and the per-node work grows polylogarithmically — "
+        "the eps/c trade-off of Lemma 7 is visible in the work column.");
+    return EXIT_SUCCESS;
+  });
 }

@@ -1,7 +1,9 @@
 // Experiment T2 (Theorem 3): Algorithm 2 on hypercubes — exact uniform
 // samples in O(log log n) rounds with the Lemma 9 schedule.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "graph/hypercube.hpp"
@@ -9,62 +11,88 @@
 #include "sampling/schedule.hpp"
 #include "support/rng.hpp"
 
-int main() {
+namespace {
+
+struct Cell {
+  int d;
+  double epsilon;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner("T2: Algorithm 2 on hypercubes (Theorem 3)",
-                "Claim: with m_i = (1+eps)^{I-i} c log n the coordinate-block "
-                "doubling succeeds w.h.p. and samples exactly uniformly in "
-                "O(log log n) rounds.");
-
-  support::Table table({"d", "n", "eps", "c", "runs_ok", "rounds", "samples/node",
-                        "max_kbits/nd/rd", "dry_events"});
-  support::Rng rng(bench::kBenchSeed + 2);
-  constexpr int kRuns = 3;
-
-  for (const int d : {6, 8, 10}) {
-    for (const double epsilon : {0.5, 1.0}) {
-      // Lemma 7/9 couple c to eps: the smaller the schedule slack, the
-      // larger the constant must be for the Chernoff margin to hold.
-      const double c_for_eps = epsilon < 0.75 ? 8.0 : 2.0;
-      const std::size_t n = std::size_t{1} << d;
-      const auto estimate = sampling::SizeEstimate::from_true_size(n);
-      sampling::SamplingConfig config;
-      config.epsilon = epsilon;
-      config.c = c_for_eps;
-      const auto schedule = sampling::hypercube_schedule(estimate, d, config);
-      const graph::Hypercube cube(d);
-
-      int ok = 0;
-      sim::Round rounds = 0;
-      std::uint64_t max_bits = 0;
-      std::size_t dry = 0;
-      std::size_t samples = 0;
-      for (int run = 0; run < kRuns; ++run) {
-        auto run_rng = rng.split(static_cast<std::uint64_t>(run));
-        const auto result =
-            sampling::run_hypercube_sampling(cube, schedule, run_rng);
-        ok += result.success ? 1 : 0;
-        rounds = result.rounds;
-        max_bits = std::max(max_bits, result.max_node_bits_per_round);
-        dry += result.dry_events;
-        samples = result.samples.front().size();
-      }
-      table.add_row({support::Table::num(d),
-                     support::Table::num(static_cast<std::uint64_t>(n)),
-                     support::Table::num(epsilon, 2),
-                     support::Table::num(c_for_eps, 1),
-                     support::Table::num(ok) + "/" +
-                         support::Table::num(kRuns),
-                     support::Table::num(rounds),
-                     support::Table::num(static_cast<std::uint64_t>(samples)),
-                     support::Table::num(
-                         static_cast<double>(max_bits) / 1000.0, 1),
-                     support::Table::num(static_cast<std::uint64_t>(dry))});
+  const bench::BenchSpec spec{
+      "T2_sampling_hypercube", "T2: Algorithm 2 on hypercubes (Theorem 3)",
+      "Claim: with m_i = (1+eps)^{I-i} c log n the coordinate-block doubling "
+      "succeeds w.h.p. and samples exactly uniformly in O(log log n) "
+      "rounds."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    support::Table table({"d", "n", "eps", "c", "runs_ok", "rounds",
+                          "samples/node", "max_kbits/nd/rd", "dry_events"});
+    constexpr int kRuns = 3;
+    std::vector<Cell> cells;
+    for (const int d : {6, 8, 10}) {
+      for (const double epsilon : {0.5, 1.0}) cells.push_back({d, epsilon});
     }
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "Rounds equal 2*ceil(log2 d) — doubling the dimension adds only two "
-      "rounds — and the work per node stays polylogarithmic.");
-  return EXIT_SUCCESS;
+    bench::sweep(
+        ctx, table, cells,
+        {"runs_ok", "rounds", "samples_per_node", "max_kbits_per_node_round",
+         "dry_events"},
+        [](const Cell& cell) {
+          return "d=" + support::Table::num(cell.d) +
+                 ",eps=" + support::Table::num(cell.epsilon, 2);
+        },
+        [&](const Cell& cell, runtime::TrialContext& trial) {
+          // Lemma 7/9 couple c to eps: the smaller the schedule slack, the
+          // larger the constant must be for the Chernoff margin to hold.
+          const double c_for_eps = cell.epsilon < 0.75 ? 8.0 : 2.0;
+          const std::size_t n = std::size_t{1} << cell.d;
+          const auto estimate = sampling::SizeEstimate::from_true_size(n);
+          sampling::SamplingConfig config;
+          config.epsilon = cell.epsilon;
+          config.c = c_for_eps;
+          const auto schedule =
+              sampling::hypercube_schedule(estimate, cell.d, config);
+          const graph::Hypercube cube(cell.d);
+
+          double ok = 0.0;
+          double rounds = 0.0;
+          double max_kbits = 0.0;
+          double dry = 0.0;
+          double samples = 0.0;
+          for (int run = 0; run < kRuns; ++run) {
+            auto run_rng = trial.rng.split(static_cast<std::uint64_t>(run));
+            const auto result =
+                sampling::run_hypercube_sampling(cube, schedule, run_rng);
+            ok += result.success ? 1.0 : 0.0;
+            rounds = static_cast<double>(result.rounds);
+            max_kbits = std::max(
+                max_kbits,
+                static_cast<double>(result.max_node_bits_per_round) / 1000.0);
+            dry += static_cast<double>(result.dry_events);
+            samples = static_cast<double>(result.samples.front().size());
+          }
+          return std::vector<double>{ok, rounds, samples, max_kbits, dry};
+        },
+        [&](const Cell& cell, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(cell.d),
+              support::Table::num(std::uint64_t{1} << cell.d),
+              support::Table::num(cell.epsilon, 2),
+              support::Table::num(cell.epsilon < 0.75 ? 8.0 : 2.0, 1),
+              support::Table::num(mean[0], digits) + "/" +
+                  support::Table::num(kRuns),
+              support::Table::num(mean[1], digits),
+              support::Table::num(mean[2], digits),
+              support::Table::num(mean[3], 1),
+              support::Table::num(mean[4], digits)};
+        });
+    ctx.show("hypercube_sampling", table);
+    ctx.interpret(
+        "Rounds equal 2*ceil(log2 d) — doubling the dimension adds only two "
+        "rounds — and the work per node stays polylogarithmic.");
+    return EXIT_SUCCESS;
+  });
 }

@@ -3,6 +3,7 @@
 // exponential gap (Theorems 2/3 vs. Section 2.3).
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "graph/hgraph.hpp"
@@ -13,65 +14,82 @@
 #include "sampling/schedule.hpp"
 #include "support/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner("F1: sampling rounds, rapid vs plain walks",
-                "Claim: O(log log n) rounds (pointer-doubled walks) vs "
-                "Theta(log n) rounds (plain walks), both delivering "
-                "(almost) uniform samples.");
+  const bench::BenchSpec spec{
+      "F1_sampling_rounds", "F1: sampling rounds, rapid vs plain walks",
+      "Claim: O(log log n) rounds (pointer-doubled walks) vs Theta(log n) "
+      "rounds (plain walks), both delivering (almost) uniform samples."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    support::Table table({"n", "hg_rapid", "hg_plain", "hc_rapid", "hc_plain",
+                          "speedup_hg", "speedup_hc"});
+    const std::vector<int> cells{8, 9, 10, 11};
+    const auto means = bench::sweep(
+        ctx, table, cells,
+        {"hg_rapid_rounds", "hg_plain_rounds", "hc_rapid_rounds",
+         "hc_plain_rounds", "rapid_ok"},
+        [](int log_n) {
+          return "n=" + support::Table::num(std::uint64_t{1} << log_n);
+        },
+        [&](int log_n, runtime::TrialContext& trial) {
+          const std::size_t n = std::size_t{1} << log_n;
+          const auto estimate = sampling::SizeEstimate::from_true_size(n);
+          sampling::SamplingConfig config;
+          config.c = 2.0;  // the Lemma 7/9 constant, per ablation A2
 
-  support::Table table({"n", "hg_rapid", "hg_plain", "hc_rapid", "hc_plain",
-                        "speedup_hg", "speedup_hc"});
-  support::Rng rng(bench::kBenchSeed);
+          // H-graph: rapid vs Lemma 2 walk length.
+          auto graph_rng = trial.rng.split(0);
+          const auto g = graph::HGraph::random(n, 8, graph_rng);
+          const auto schedule = sampling::hgraph_schedule(estimate, 8, config);
+          auto rapid_rng = trial.rng.split(1);
+          const auto rapid =
+              sampling::run_hgraph_sampling(g, schedule, rapid_rng);
+          const auto walk_length =
+              sampling::hgraph_mixing_walk_length(n, 8, 1.0);
+          auto plain_rng = trial.rng.split(2);
+          const auto plain =
+              sampling::run_hgraph_plain_walks(g, 1, walk_length, plain_rng);
 
-  for (int log_n = 8; log_n <= 11; ++log_n) {
-    const std::size_t n = std::size_t{1} << log_n;
-    const auto estimate = sampling::SizeEstimate::from_true_size(n);
-    sampling::SamplingConfig config;
-    config.c = 2.0;  // the Lemma 7/9 constant, per ablation A2
+          // Hypercube: rapid vs the classic d-round coin-flip walk.
+          const graph::Hypercube cube(log_n);
+          const auto cube_schedule =
+              sampling::hypercube_schedule(estimate, log_n, config);
+          auto cube_rng = trial.rng.split(3);
+          const auto cube_rapid =
+              sampling::run_hypercube_sampling(cube, cube_schedule, cube_rng);
+          auto cube_plain_rng = trial.rng.split(4);
+          const auto cube_plain =
+              sampling::run_hypercube_plain_walks(cube, 1, cube_plain_rng);
 
-    // H-graph: rapid vs Lemma 2 walk length.
-    const auto g = graph::HGraph::random(n, 8, rng);
-    const auto schedule = sampling::hgraph_schedule(estimate, 8, config);
-    auto rapid_rng = rng.split(1);
-    const auto rapid = sampling::run_hgraph_sampling(g, schedule, rapid_rng);
-    const auto walk_length = sampling::hgraph_mixing_walk_length(n, 8, 1.0);
-    auto plain_rng = rng.split(2);
-    const auto plain =
-        sampling::run_hgraph_plain_walks(g, 1, walk_length, plain_rng);
-
-    // Hypercube: rapid vs the classic d-round coin-flip walk.
-    const graph::Hypercube cube(log_n);
-    const auto cube_schedule =
-        sampling::hypercube_schedule(estimate, log_n, config);
-    auto cube_rng = rng.split(3);
-    const auto cube_rapid =
-        sampling::run_hypercube_sampling(cube, cube_schedule, cube_rng);
-    auto cube_plain_rng = rng.split(4);
-    const auto cube_plain =
-        sampling::run_hypercube_plain_walks(cube, 1, cube_plain_rng);
-
-    if (!rapid.success || !cube_rapid.success) {
-      std::cerr << "sampling ran dry at n=" << n << "\n";
-      return EXIT_FAILURE;
+          return std::vector<double>{
+              static_cast<double>(rapid.rounds),
+              static_cast<double>(plain.rounds),
+              static_cast<double>(cube_rapid.rounds),
+              static_cast<double>(cube_plain.rounds),
+              rapid.success && cube_rapid.success ? 1.0 : 0.0};
+        },
+        [&](int log_n, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(std::uint64_t{1} << log_n),
+              support::Table::num(mean[0], digits),
+              support::Table::num(mean[1], digits),
+              support::Table::num(mean[2], digits),
+              support::Table::num(mean[3], digits),
+              support::Table::num(mean[1] / mean[0], 2),
+              support::Table::num(mean[3] / mean[2], 2)};
+        });
+    ctx.show("rounds_vs_n", table);
+    for (const auto& mean : means) {
+      if (mean[4] < 1.0) {
+        std::cerr << "sampling ran dry\n";
+        return EXIT_FAILURE;
+      }
     }
-    table.add_row(
-        {support::Table::num(static_cast<std::uint64_t>(n)),
-         support::Table::num(rapid.rounds),
-         support::Table::num(plain.rounds),
-         support::Table::num(cube_rapid.rounds),
-         support::Table::num(cube_plain.rounds),
-         support::Table::num(static_cast<double>(plain.rounds) /
-                                 static_cast<double>(rapid.rounds),
-                             2),
-         support::Table::num(static_cast<double>(cube_plain.rounds) /
-                                 static_cast<double>(cube_rapid.rounds),
-                             2)});
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "Rapid round counts grow ~ log log n (doubling iterations) while plain "
-      "walks grow ~ log n; the speedup widens with n, matching the paper's "
-      "exponential-improvement claim.");
-  return EXIT_SUCCESS;
+    ctx.interpret(
+        "Rapid round counts grow ~ log log n (doubling iterations) while "
+        "plain walks grow ~ log n; the speedup widens with n, matching the "
+        "paper's exponential-improvement claim.");
+    return EXIT_SUCCESS;
+  });
 }

@@ -4,46 +4,62 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "estimate/size_estimation.hpp"
 #include "graph/hgraph.hpp"
 #include "support/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner(
-      "E1 (extension): distributed size estimation",
+  const bench::BenchSpec spec{
+      "E1_size_estimation", "E1 (extension): distributed size estimation",
       "The paper assumes every node knows an upper bound k on log log n; "
       "this protocol computes one (Flajolet-Martin sketches flooded over "
-      "the expander) in diameter-many bootstrap rounds.");
-
-  support::Table table({"n", "log2(n)", "estimate", "k=loglog_ub",
-                        "true_loglog", "rounds", "kbits/nd/rd"});
-  for (const std::size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
-    support::Rng rng(bench::kBenchSeed + n);
-    const auto g = graph::HGraph::random(n, 8, rng);
-    estimate::SizeEstimationConfig config;
-    config.slots = 32;
-    const auto result = estimate::estimate_size(g, config, rng);
-    const double true_log = std::log2(static_cast<double>(n));
-    table.add_row(
-        {support::Table::num(static_cast<std::uint64_t>(n)),
-         support::Table::num(true_log, 2),
-         support::Table::num(result.log_n_upper[0], 2),
-         support::Table::num(result.loglog_upper[0]),
-         support::Table::num(std::log2(true_log), 2),
-         support::Table::num(result.rounds),
-         support::Table::num(
-             static_cast<double>(result.max_node_bits_per_round) / 1000.0,
-             1)});
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "The estimate tracks log2 n within ~1-2 across a 256x size range, and "
-      "the derived k upper-bounds log log n with the additive slack the "
-      "paper's protocols tolerate. The bootstrap costs ~diameter rounds "
-      "(O(log n)) once; afterwards every reconfiguration epoch runs in "
-      "O(log log n) rounds with no oracle.");
-  return EXIT_SUCCESS;
+      "the expander) in diameter-many bootstrap rounds."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    support::Table table({"n", "log2(n)", "estimate", "k=loglog_ub",
+                          "true_loglog", "rounds", "kbits/nd/rd"});
+    const std::vector<std::size_t> cells{64, 256, 1024, 4096, 16384};
+    bench::sweep(
+        ctx, table, cells,
+        {"log_n_estimate", "loglog_upper", "rounds",
+         "max_kbits_per_node_round"},
+        [](std::size_t n) {
+          return "n=" + support::Table::num(static_cast<std::uint64_t>(n));
+        },
+        [&](std::size_t n, runtime::TrialContext& trial) {
+          auto rng = trial.rng.split(0);
+          const auto g = graph::HGraph::random(n, 8, rng);
+          estimate::SizeEstimationConfig config;
+          config.slots = 32;
+          const auto result = estimate::estimate_size(g, config, rng);
+          return std::vector<double>{
+              result.log_n_upper[0],
+              static_cast<double>(result.loglog_upper[0]),
+              static_cast<double>(result.rounds),
+              static_cast<double>(result.max_node_bits_per_round) / 1000.0};
+        },
+        [&](std::size_t n, const std::vector<double>& mean) {
+          const double true_log = std::log2(static_cast<double>(n));
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(static_cast<std::uint64_t>(n)),
+              support::Table::num(true_log, 2),
+              support::Table::num(mean[0], 2),
+              support::Table::num(mean[1], digits),
+              support::Table::num(std::log2(true_log), 2),
+              support::Table::num(mean[2], digits),
+              support::Table::num(mean[3], 1)};
+        });
+    ctx.show("size_estimation", table);
+    ctx.interpret(
+        "The estimate tracks log2 n within ~1-2 across a 256x size range, "
+        "and the derived k upper-bounds log log n with the additive slack "
+        "the paper's protocols tolerate. The bootstrap costs ~diameter "
+        "rounds (O(log n)) once; afterwards every reconfiguration epoch runs "
+        "in O(log log n) rounds with no oracle.");
+    return EXIT_SUCCESS;
+  });
 }

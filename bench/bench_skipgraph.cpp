@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <numeric>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "churn/reconfigure.hpp"
@@ -14,63 +15,79 @@
 #include "graph/skip_graph.hpp"
 #include "support/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reconfnet;
-  bench::banner(
+  const bench::BenchSpec spec{
+      "F4_skipgraph",
       "F4: reconfiguration via skip-graph routing (Section 1.2 baseline)",
       "The routing-based alternative needs max-route-length rounds per "
-      "reconfiguration (Theta(log n)); Algorithm 3 needs O(log log n).");
+      "reconfiguration (Theta(log n)); Algorithm 3 needs O(log log n)."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    support::Table table({"n", "skip_max_route", "skip_avg_route",
+                          "algorithm3_epoch", "advantage"});
+    const std::vector<std::size_t> cells{128, 256, 512, 1024, 2048};
+    const auto means = bench::sweep(
+        ctx, table, cells,
+        {"skip_max_route", "skip_avg_route", "algorithm3_epoch", "epoch_ok"},
+        [](std::size_t n) {
+          return "n=" + support::Table::num(static_cast<std::uint64_t>(n));
+        },
+        [&](std::size_t n, runtime::TrialContext& trial) {
+          // Skip-graph baseline: everyone routes to a fresh random key.
+          auto skip_rng = trial.rng.split(0);
+          const auto skip = graph::SkipGraph::random(n, skip_rng);
+          std::size_t max_hops = 0;
+          double total_hops = 0.0;
+          for (std::size_t v = 0; v < n; ++v) {
+            const auto path = skip.route(v, skip_rng.next());
+            max_hops = std::max(max_hops, path.size());
+            total_hops += static_cast<double>(path.size());
+          }
 
-  support::Table table({"n", "skip_max_route", "skip_avg_route",
-                        "algorithm3_epoch", "advantage"});
-  support::Rng rng(bench::kBenchSeed + 30);
-  for (const std::size_t n : {128u, 256u, 512u, 1024u, 2048u}) {
-    // Skip-graph baseline: everyone routes to a fresh random key.
-    const auto skip = graph::SkipGraph::random(n, rng);
-    std::size_t max_hops = 0;
-    double total_hops = 0.0;
-    for (std::size_t v = 0; v < n; ++v) {
-      const auto path = skip.route(v, rng.next());
-      max_hops = std::max(max_hops, path.size());
-      total_hops += static_cast<double>(path.size());
+          // Algorithm 3 epoch on an H-graph of the same size.
+          auto graph_rng = trial.rng.split(1);
+          const auto g = graph::HGraph::random(n, 8, graph_rng);
+          churn::ReconfigInput input;
+          input.topology = &g;
+          input.members.resize(n);
+          std::iota(input.members.begin(), input.members.end(), sim::NodeId{0});
+          input.leaving.assign(n, false);
+          input.joiners.assign(n, {});
+          input.sampling.c = 2.0;
+          input.estimate = sampling::SizeEstimate::from_true_size(n);
+          auto epoch_rng = trial.rng.split(2);
+          const auto epoch = churn::reconfigure(input, epoch_rng);
+          return std::vector<double>{
+              static_cast<double>(max_hops),
+              total_hops / static_cast<double>(n),
+              static_cast<double>(epoch.rounds),
+              epoch.success ? 1.0 : 0.0};
+        },
+        [&](std::size_t n, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              support::Table::num(static_cast<std::uint64_t>(n)),
+              support::Table::num(mean[0], digits),
+              support::Table::num(mean[1], 1),
+              support::Table::num(mean[2], digits),
+              support::Table::num(mean[0] / mean[2], 2) + "x slower"};
+        });
+    ctx.show("skipgraph_baseline", table);
+    for (const auto& mean : means) {
+      if (mean[3] < 1.0) {
+        std::cerr << "Algorithm 3 epoch failed\n";
+        return EXIT_FAILURE;
+      }
     }
-
-    // Algorithm 3 epoch on an H-graph of the same size.
-    const auto g = graph::HGraph::random(n, 8, rng);
-    churn::ReconfigInput input;
-    input.topology = &g;
-    input.members.resize(n);
-    std::iota(input.members.begin(), input.members.end(), sim::NodeId{0});
-    input.leaving.assign(n, false);
-    input.joiners.assign(n, {});
-    input.sampling.c = 2.0;
-    input.estimate = sampling::SizeEstimate::from_true_size(n);
-    auto epoch_rng = rng.split(n);
-    const auto epoch = churn::reconfigure(input, epoch_rng);
-    if (!epoch.success) {
-      std::cerr << "Algorithm 3 epoch failed at n=" << n << "\n";
-      return EXIT_FAILURE;
-    }
-
-    table.add_row(
-        {support::Table::num(static_cast<std::uint64_t>(n)),
-         support::Table::num(static_cast<std::uint64_t>(max_hops)),
-         support::Table::num(total_hops / static_cast<double>(n), 1),
-         support::Table::num(epoch.rounds),
-         support::Table::num(static_cast<double>(max_hops) /
-                                 static_cast<double>(epoch.rounds),
-                             2) +
-             "x slower"});
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "Growth rates, not absolute values, are the story at laptop scale: "
-      "the max route grows with log n (18 -> 29 hops over a 16x size range) "
-      "while Algorithm 3's epoch stays nearly flat (19 -> 23 rounds, "
-      "dominated by constants plus log log n). The curves have already "
-      "crossed by n ~ 2048 and diverge from there — and the quoted hops "
-      "are only the routing phase; rebuilding the level lists costs "
-      "another O(log n). This is the Section 1.2 argument for "
-      "sampling-based over routing-based reconfiguration, measured.");
-  return EXIT_SUCCESS;
+    ctx.interpret(
+        "Growth rates, not absolute values, are the story at laptop scale: "
+        "the max route grows with log n (18 -> 29 hops over a 16x size "
+        "range) while Algorithm 3's epoch stays nearly flat (19 -> 23 "
+        "rounds, dominated by constants plus log log n). The curves have "
+        "already crossed by n ~ 2048 and diverge from there — and the quoted "
+        "hops are only the routing phase; rebuilding the level lists costs "
+        "another O(log n). This is the Section 1.2 argument for "
+        "sampling-based over routing-based reconfiguration, measured.");
+    return EXIT_SUCCESS;
+  });
 }

@@ -38,70 +38,85 @@ std::vector<std::uint64_t> origin_counts(std::size_t n, int runs,
 
 }  // namespace
 
-int main() {
-  bench::banner(
-      "T3: per-origin sampling distribution (Lemmas 2/3)",
+int main(int argc, char** argv) {
+  const bench::BenchSpec spec{
+      "T3_uniformity", "T3: per-origin sampling distribution (Lemmas 2/3)",
       "Claim: one node's H-graph samples deviate from uniform by at most "
       "n^-alpha per target once walks reach the Lemma 2 length; short walks "
-      "are visibly biased. Hypercube sampling is exactly uniform.");
+      "are visibly biased. Hypercube sampling is exactly uniform."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    const std::size_t n = 128;
+    constexpr int kRuns = 60;
+    support::Table table(
+        {"graph", "alpha", "walk_len", "samples", "tv_dist", "chi2_p"});
 
-  support::Rng rng(bench::kBenchSeed + 3);
-  const std::size_t n = 128;
-  const auto g = graph::HGraph::random(n, 8, rng);
-  constexpr int kRuns = 60;
-
-  support::Table table(
-      {"graph", "alpha", "walk_len", "samples", "tv_dist", "chi2_p"});
-  for (const double alpha : {0.25, 0.5, 1.0, 2.0}) {
-    const auto estimate = sampling::SizeEstimate::from_true_size(n);
-    sampling::SamplingConfig config;
-    config.alpha = alpha;
-    config.c = 4.0;
-    const auto schedule = sampling::hgraph_schedule(estimate, 8, config);
-    auto sweep_rng = rng.split(static_cast<std::uint64_t>(alpha * 100));
-    const auto counts =
-        origin_counts(n, kRuns, sweep_rng, [&](support::Rng& run_rng) {
-          return sampling::run_hgraph_sampling(g, schedule, run_rng)
-              .samples.front();
+    // alpha < 0 marks the exactly-uniform hypercube reference cell.
+    const std::vector<double> cells{0.25, 0.5, 1.0, 2.0, -1.0};
+    bench::sweep(
+        ctx, table, cells, {"walk_len", "samples", "tv_dist", "chi2_p"},
+        [](double alpha) {
+          return alpha < 0.0 ? std::string("hypercube")
+                             : "alpha=" + support::Table::num(alpha, 2);
+        },
+        [&](double alpha, runtime::TrialContext& trial) {
+          if (alpha < 0.0) {
+            const graph::Hypercube cube(7);
+            const auto estimate =
+                sampling::SizeEstimate::from_true_size(cube.size());
+            sampling::SamplingConfig config;
+            config.c = 4.0;
+            const auto schedule =
+                sampling::hypercube_schedule(estimate, 7, config);
+            const auto counts = origin_counts(
+                cube.size(), kRuns, trial.rng, [&](support::Rng& run_rng) {
+                  return sampling::run_hypercube_sampling(cube, schedule,
+                                                          run_rng)
+                      .samples.front();
+                });
+            return std::vector<double>{
+                7.0,
+                static_cast<double>(std::accumulate(
+                    counts.begin(), counts.end(), std::uint64_t{0})),
+                support::tv_distance_from_uniform(counts),
+                support::chi_square_uniform(counts).p_value};
+          }
+          auto graph_rng = trial.rng.split(0);
+          const auto g = graph::HGraph::random(n, 8, graph_rng);
+          const auto estimate = sampling::SizeEstimate::from_true_size(n);
+          sampling::SamplingConfig config;
+          config.alpha = alpha;
+          config.c = 4.0;
+          const auto schedule = sampling::hgraph_schedule(estimate, 8, config);
+          auto sweep_rng = trial.rng.split(1);
+          const auto counts =
+              origin_counts(n, kRuns, sweep_rng, [&](support::Rng& run_rng) {
+                return sampling::run_hgraph_sampling(g, schedule, run_rng)
+                    .samples.front();
+              });
+          return std::vector<double>{
+              static_cast<double>(schedule.target_walk_length),
+              static_cast<double>(std::accumulate(
+                  counts.begin(), counts.end(), std::uint64_t{0})),
+              support::tv_distance_from_uniform(counts),
+              support::chi_square_uniform(counts).p_value};
+        },
+        [&](double alpha, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 1 : 0;
+          return std::vector<std::string>{
+              alpha < 0.0 ? "hypercube" : "hgraph",
+              alpha < 0.0 ? "-" : support::Table::num(alpha, 2),
+              support::Table::num(mean[0], digits),
+              support::Table::num(mean[1], digits),
+              support::Table::num(mean[2], 4),
+              support::Table::num(mean[3], 4)};
         });
-    table.add_row(
-        {"hgraph", support::Table::num(alpha, 2),
-         support::Table::num(
-             static_cast<std::uint64_t>(schedule.target_walk_length)),
-         support::Table::num(static_cast<std::uint64_t>(std::accumulate(
-             counts.begin(), counts.end(), std::uint64_t{0}))),
-         support::Table::num(support::tv_distance_from_uniform(counts), 4),
-         support::Table::num(support::chi_square_uniform(counts).p_value,
-                             4)});
-  }
-
-  // Hypercube reference: exactly uniform per origin by construction.
-  {
-    const graph::Hypercube cube(7);
-    const auto estimate = sampling::SizeEstimate::from_true_size(cube.size());
-    sampling::SamplingConfig config;
-    config.c = 4.0;
-    const auto schedule = sampling::hypercube_schedule(estimate, 7, config);
-    auto sweep_rng = rng.split(999);
-    const auto counts = origin_counts(
-        cube.size(), kRuns, sweep_rng, [&](support::Rng& run_rng) {
-          return sampling::run_hypercube_sampling(cube, schedule, run_rng)
-              .samples.front();
-        });
-    table.add_row(
-        {"hypercube", "-", "7",
-         support::Table::num(static_cast<std::uint64_t>(std::accumulate(
-             counts.begin(), counts.end(), std::uint64_t{0}))),
-         support::Table::num(support::tv_distance_from_uniform(counts), 4),
-         support::Table::num(support::chi_square_uniform(counts).p_value,
-                             4)});
-  }
-  table.print(std::cout);
-  bench::interpretation(
-      "Walks of length 4 (alpha = 0.25) are still concentrated near the "
-      "origin — large TV, chi-square p ~ 0. At the Lemma 2 length "
-      "(alpha >= 1) the per-origin distribution becomes statistically "
-      "indistinguishable from uniform, and the hypercube primitive matches "
-      "its exact-uniformity guarantee at any length.");
-  return EXIT_SUCCESS;
+    ctx.show("per_origin_distribution", table);
+    ctx.interpret(
+        "Walks of length 4 (alpha = 0.25) are still concentrated near the "
+        "origin — large TV, chi-square p ~ 0. At the Lemma 2 length "
+        "(alpha >= 1) the per-origin distribution becomes statistically "
+        "indistinguishable from uniform, and the hypercube primitive matches "
+        "its exact-uniformity guarantee at any length.");
+    return EXIT_SUCCESS;
+  });
 }

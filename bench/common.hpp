@@ -1,12 +1,34 @@
-// Shared helpers for the experiment harnesses. Every bench binary prints a
-// banner naming the experiment id from DESIGN.md, one or more tables, and an
-// interpretation line so bench_output.txt reads as a self-contained report.
+// Shared harness for the experiment binaries. Every bench declares a
+// BenchSpec (experiment id from DESIGN.md §3, banner title, claim) and a
+// body; bench_main gives all of them uniform flags:
+//
+//   --seed <u64>    master seed (default kBenchSeed)
+//   --jobs <n>      worker threads for the trial grid (default 1; 0 = all
+//                   hardware threads). Output is byte-identical for any
+//                   value — parallelism may only change the "timing"
+//                   section of the JSON.
+//   --reps <n>      Monte-Carlo repetitions per scenario cell (default 1)
+//   --json [path]   write structured results (default BENCH_<id>.json)
+//
+// Tables still print to stdout exactly as before; the harness additionally
+// records them (plus per-cell metric series and aggregates) through
+// runtime::BenchResults.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "runtime/results.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/trial_runner.hpp"
+#include "support/args.hpp"
 #include "support/table.hpp"
 
 namespace reconfnet::bench {
@@ -20,6 +42,131 @@ inline void banner(const std::string& experiment_id,
 
 inline void interpretation(const std::string& text) {
   std::cout << "\n-> " << text << "\n";
+}
+
+struct BenchSpec {
+  std::string id;     ///< short slug for BENCH_<id>.json, e.g. "T5_dos"
+  std::string title;  ///< banner headline, e.g. "T5: DoS survival ..."
+  std::string claim;  ///< the paper claim under test
+};
+
+struct Context {
+  std::uint64_t seed = kBenchSeed;
+  std::size_t jobs = 1;
+  std::size_t reps = 1;
+  const support::Args* args = nullptr;
+  runtime::BenchResults* results = nullptr;
+
+  /// Fans `count` trials across `jobs` workers; deterministic in `seed`
+  /// and the trial index only (see runtime::TrialRunner).
+  template <typename Fn>
+  auto run_trials(std::size_t count, Fn&& fn) {
+    runtime::TrialRunner runner(seed, jobs);
+    return runner.run(count, std::forward<Fn>(fn));
+  }
+
+  /// Prints the table and records it in the JSON results.
+  void show(const std::string& name, const support::Table& table) {
+    table.print(std::cout);
+    results->add_table(name, table);
+  }
+
+  /// Prints the interpretation line and records it as a note.
+  void interpret(const std::string& text) {
+    interpretation(text);
+    results->add_note(text);
+  }
+};
+
+/// One scenario sweep: `cells.size() * ctx.reps` trials fan out across the
+/// workers (flat index = cell * reps + rep); per-cell metric vectors are
+/// averaged over the repetitions, appended to `table` via `row_fn`, and every
+/// metric series is recorded in the JSON results under the cell's label.
+/// Returns the per-cell mean metric vectors (in cell order) so callers can
+/// apply success criteria.
+template <typename Cell, typename LabelFn, typename TrialFn, typename RowFn>
+std::vector<std::vector<double>> sweep(
+    Context& ctx, support::Table& table, const std::vector<Cell>& cells,
+    const std::vector<std::string>& metric_names, LabelFn&& label_fn,
+    TrialFn&& trial_fn,  // (const Cell&, runtime::TrialContext&) -> vector<double>
+    RowFn&& row_fn) {    // (const Cell&, const vector<double>& mean) -> row
+  const std::size_t reps = ctx.reps == 0 ? 1 : ctx.reps;
+  const auto raw = ctx.run_trials(
+      cells.size() * reps, [&](runtime::TrialContext& trial) {
+        const Cell& cell = cells[trial.index / reps];
+        return trial_fn(cell, trial);
+      });
+  std::vector<std::vector<double>> means;
+  means.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::vector<std::vector<double>> series(metric_names.size());
+    for (std::size_t r = 0; r < reps; ++r) {
+      const auto& metrics = raw[c * reps + r];
+      for (std::size_t m = 0; m < metric_names.size(); ++m) {
+        series[m].push_back(metrics.at(m));
+      }
+    }
+    std::vector<double> mean(metric_names.size(), 0.0);
+    for (std::size_t m = 0; m < metric_names.size(); ++m) {
+      for (const double v : series[m]) mean[m] += v;
+      mean[m] /= static_cast<double>(reps);
+      ctx.results->add_metric(label_fn(cells[c]), metric_names[m],
+                              series[m]);
+    }
+    table.add_row(row_fn(cells[c], mean));
+    means.push_back(std::move(mean));
+  }
+  return means;
+}
+
+inline void usage(const BenchSpec& spec) {
+  std::cout << spec.id
+            << " [--seed <u64>] [--jobs <n>] [--reps <n>] [--json [path]]\n";
+}
+
+/// Uniform entry point: parses flags, times the body, writes the JSON file
+/// when --json was given. The body's return value is the process exit code
+/// and is also recorded in the results.
+inline int bench_main(int argc, const char* const* argv,
+                      const BenchSpec& spec,
+                      const std::function<int(Context&)>& body) {
+  try {
+    const support::Args args(argc, argv, 1, {"help"}, {"json"});
+    if (args.has("help")) {
+      usage(spec);
+      return EXIT_SUCCESS;
+    }
+    runtime::BenchResults results(spec.id, spec.title, spec.claim);
+    Context ctx;
+    ctx.seed = args.get_u64("seed", kBenchSeed);
+    ctx.jobs = args.get_size("jobs", 1);
+    if (ctx.jobs == 0) ctx.jobs = runtime::ThreadPool::hardware_workers();
+    ctx.reps = std::max<std::size_t>(args.get_size("reps", 1), 1);
+    ctx.args = &args;
+    ctx.results = &results;
+    results.set_meta("seed", ctx.seed);
+    results.set_meta("reps", static_cast<std::uint64_t>(ctx.reps));
+    results.set_meta("git", runtime::build_git_describe());
+
+    banner(spec.title, spec.claim);
+    const auto start = std::chrono::steady_clock::now();
+    const int code = body(ctx);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    results.set_exit_code(code);
+    results.set_timing(ctx.jobs, elapsed.count());
+    if (args.has("json")) {
+      std::string path = args.get_string("json", "");
+      if (path.empty()) path = "BENCH_" + spec.id + ".json";
+      results.write_file(path);
+      std::cout << "\n[results written to " << path << "]\n";
+    }
+    return code;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    usage(spec);
+    return EXIT_FAILURE;
+  }
 }
 
 }  // namespace reconfnet::bench

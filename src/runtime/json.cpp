@@ -1,0 +1,421 @@
+#include "runtime/json.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace reconfnet::runtime {
+namespace {
+
+void dump_double(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  // Shortest representation that round-trips; locale-independent.
+  std::array<char, 32> buffer{};
+  const auto [end, ec] =
+      std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+  os.write(buffer.data(), end - buffer.data());
+  if (ec != std::errc()) os << "0";  // unreachable for finite doubles
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("Json::parse: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return Json();
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json object = Json::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object[key] = parse_value();
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return object;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json array = Json::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return array;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (the writer only emits \u00XX;
+          // surrogate pairs are out of scope for this tooling format).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_integer = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_integer = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("invalid number");
+    if (is_integer) {
+      if (token[0] == '-') {
+        std::int64_t value = 0;
+        const auto [end, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), value);
+        if (ec == std::errc() && end == token.data() + token.size()) {
+          return Json(value);
+        }
+      } else {
+        std::uint64_t value = 0;
+        const auto [end, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), value);
+        if (ec == std::errc() && end == token.data() + token.size()) {
+          // Small positives stay Int so writer output matches parser output.
+          if (value <= static_cast<std::uint64_t>(
+                           std::numeric_limits<std::int64_t>::max())) {
+            return Json(static_cast<std::int64_t>(value));
+          }
+          return Json(value);
+        }
+      }
+      // Out-of-range integer literal: fall through to double.
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || end != token.data() + token.size()) {
+      fail("invalid number");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::array() {
+  Json value;
+  value.type_ = Type::Array;
+  return value;
+}
+
+Json Json::object() {
+  Json value;
+  value.type_ = Type::Object;
+  return value;
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (type_ == Type::Null) type_ = Type::Object;
+  if (type_ != Type::Object) {
+    throw std::logic_error("Json::operator[]: not an object");
+  }
+  for (auto& [name, value] : object_) {
+    if (name == key) return value;
+  }
+  object_.emplace_back(std::string(key), Json());
+  return object_.back().second;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void Json::erase(std::string_view key) {
+  if (type_ != Type::Object) return;
+  for (auto it = object_.begin(); it != object_.end(); ++it) {
+    if (it->first == key) {
+      object_.erase(it);
+      return;
+    }
+  }
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::Null) type_ = Type::Array;
+  if (type_ != Type::Array) {
+    throw std::logic_error("Json::push_back: not an array");
+  }
+  array_.push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::Array) return array_.size();
+  if (type_ == Type::Object) return object_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (type_ != Type::Array || index >= array_.size()) {
+    throw std::out_of_range("Json::at: bad array index");
+  }
+  return array_[index];
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ == Type::Uint) return static_cast<std::int64_t>(uint_);
+  if (type_ == Type::Double) return static_cast<std::int64_t>(double_);
+  return int_;
+}
+
+std::uint64_t Json::as_uint() const {
+  if (type_ == Type::Int) return static_cast<std::uint64_t>(int_);
+  if (type_ == Type::Double) return static_cast<std::uint64_t>(double_);
+  return uint_;
+}
+
+double Json::as_double() const {
+  if (type_ == Type::Int) return static_cast<double>(int_);
+  if (type_ == Type::Uint) return static_cast<double>(uint_);
+  return double_;
+}
+
+std::string Json::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buffer{};
+          std::snprintf(buffer.data(), buffer.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer.data();
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_impl(std::ostream& os, int indent, int depth) const {
+  const auto newline_and_pad = [&os, indent](int level) {
+    if (indent < 0) return;
+    os << '\n';
+    for (int i = 0; i < indent * level; ++i) os << ' ';
+  };
+  switch (type_) {
+    case Type::Null:
+      os << "null";
+      break;
+    case Type::Bool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Type::Int:
+      os << int_;
+      break;
+    case Type::Uint:
+      os << uint_;
+      break;
+    case Type::Double:
+      dump_double(os, double_);
+      break;
+    case Type::String:
+      os << '"' << escape(string_) << '"';
+      break;
+    case Type::Array: {
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) os << ',';
+        newline_and_pad(depth + 1);
+        array_[i].dump_impl(os, indent, depth + 1);
+      }
+      if (!array_.empty()) newline_and_pad(depth);
+      os << ']';
+      break;
+    }
+    case Type::Object: {
+      os << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) os << ',';
+        newline_and_pad(depth + 1);
+        os << '"' << escape(object_[i].first) << "\":";
+        if (indent >= 0) os << ' ';
+        object_[i].second.dump_impl(os, indent, depth + 1);
+      }
+      if (!object_.empty()) newline_and_pad(depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Json::dump(std::ostream& os, int indent) const {
+  dump_impl(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream out;
+  dump(out, indent);
+  return out.str();
+}
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace reconfnet::runtime

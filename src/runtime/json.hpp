@@ -1,0 +1,87 @@
+// Zero-dependency JSON value type for the structured-results layer.
+//
+// Writing is the primary job: BENCH_*.json files must be byte-stable for a
+// fixed seed, so objects preserve insertion order and numbers print via
+// shortest-round-trip formatting (std::to_chars). A small strict parser is
+// included so tests (and tools) can round-trip what the writer emits.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace reconfnet::runtime {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+  Json() = default;  // null
+  Json(bool value) : type_(Type::Bool), bool_(value) {}
+  Json(int value) : type_(Type::Int), int_(value) {}
+  Json(std::int64_t value) : type_(Type::Int), int_(value) {}
+  Json(std::uint64_t value) : type_(Type::Uint), uint_(value) {}
+  Json(double value) : type_(Type::Double), double_(value) {}
+  Json(const char* value) : type_(Type::String), string_(value) {}
+  Json(std::string value) : type_(Type::String), string_(std::move(value)) {}
+
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+
+  /// Object access: inserts a null member if the key is missing. Converts a
+  /// null value into an object on first use. Preserves insertion order.
+  Json& operator[](std::string_view key);
+  /// Read-only lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// Removes a member if present; no-op otherwise. Used by tests to compare
+  /// results modulo the timing section.
+  void erase(std::string_view key);
+
+  /// Array append. Converts a null value into an array on first use.
+  void push_back(Json value);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Json& at(std::size_t index) const;
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const {
+    return object_;
+  }
+
+  /// Serializes. indent < 0 is compact; indent >= 0 pretty-prints with that
+  /// many spaces per level. Non-finite doubles emit null (JSON has no NaN).
+  void dump(std::ostream& os, int indent = 2) const;
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Strict recursive-descent parse of a complete JSON document; throws
+  /// std::runtime_error with an offset on malformed input.
+  static Json parse(std::string_view text);
+
+  /// JSON string escaping (without the surrounding quotes).
+  static std::string escape(std::string_view raw);
+
+ private:
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace reconfnet::runtime

@@ -1,0 +1,121 @@
+#include "runtime/results.hpp"
+
+#include <chrono>
+#include <ctime>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "support/stats.hpp"
+
+#ifndef RECONFNET_GIT_DESCRIBE
+#define RECONFNET_GIT_DESCRIBE "unknown"
+#endif
+
+namespace reconfnet::runtime {
+
+BenchResults::BenchResults(std::string experiment_id, std::string title,
+                           std::string claim)
+    : experiment_id_(std::move(experiment_id)),
+      title_(std::move(title)),
+      claim_(std::move(claim)) {}
+
+void BenchResults::set_meta(const std::string& key, Json value) {
+  meta_[key] = std::move(value);
+}
+
+void BenchResults::add_table(const std::string& name,
+                             const support::Table& table) {
+  Json entry = Json::object();
+  entry["name"] = name;
+  Json header = Json::array();
+  for (const auto& cell : table.header()) header.push_back(cell);
+  entry["header"] = std::move(header);
+  Json rows = Json::array();
+  for (const auto& row : table.cells()) {
+    Json cells = Json::array();
+    for (const auto& cell : row) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  entry["rows"] = std::move(rows);
+  tables_.push_back(std::move(entry));
+}
+
+support::Summary BenchResults::add_metric(const std::string& group,
+                                          const std::string& name,
+                                          std::span<const double> values) {
+  Json entry = Json::object();
+  entry["group"] = group;
+  entry["name"] = name;
+  Json raw = Json::array();
+  for (const double v : values) raw.push_back(v);
+  entry["values"] = std::move(raw);
+  const support::Summary summary = support::summarize(values);
+  Json stats = Json::object();
+  stats["count"] = static_cast<std::uint64_t>(summary.count);
+  stats["min"] = summary.min;
+  stats["max"] = summary.max;
+  stats["mean"] = summary.mean;
+  stats["stddev"] = summary.stddev;
+  stats["p50"] = summary.p50;
+  stats["p95"] = summary.p95;
+  stats["p99"] = summary.p99;
+  entry["summary"] = std::move(stats);
+  metrics_.push_back(std::move(entry));
+  return summary;
+}
+
+void BenchResults::add_note(const std::string& text) {
+  notes_.push_back(text);
+}
+
+void BenchResults::set_timing(std::size_t jobs, double wall_seconds) {
+  jobs_ = jobs;
+  wall_seconds_ = wall_seconds;
+}
+
+Json BenchResults::to_json() const {
+  Json root = Json::object();
+  root["schema"] = "reconfnet-bench-v1";
+  root["experiment"] = experiment_id_;
+  root["title"] = title_;
+  root["claim"] = claim_;
+  root["meta"] = meta_;
+  root["tables"] = tables_;
+  root["metrics"] = metrics_;
+  root["notes"] = notes_;
+  root["exit_code"] = exit_code_;
+  Json timing = Json::object();
+  timing["jobs"] = static_cast<std::uint64_t>(jobs_);
+  timing["wall_seconds"] = wall_seconds_;
+  timing["generated_at"] = iso8601_utc_now();
+  root["timing"] = std::move(timing);
+  return root;
+}
+
+void BenchResults::write(std::ostream& os) const {
+  to_json().dump(os, 2);
+  os << '\n';
+}
+
+void BenchResults::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("BenchResults: cannot write " + path);
+  }
+  write(out);
+}
+
+std::string build_git_describe() { return RECONFNET_GIT_DESCRIBE; }
+
+std::string iso8601_utc_now() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+}  // namespace reconfnet::runtime

@@ -1,0 +1,94 @@
+// Structured results for the experiment suite: everything a bench binary
+// prints as a human-readable table is also recorded here and exported as
+// BENCH_<experiment-id>.json, so the perf trajectory of the repo is
+// machine-readable across commits.
+//
+// Schema (schema id "reconfnet-bench-v1"):
+//   {
+//     "schema": "reconfnet-bench-v1",
+//     "experiment": "<short id>",         // e.g. "T5_dos"
+//     "title": "...", "claim": "...",
+//     "meta": { "seed": u64, "reps": n, "git": "...", ... },
+//     "tables": [ {"name": ..., "header": [...], "rows": [[...], ...]} ],
+//     "metrics": [ {"group": ..., "name": ..., "values": [...],
+//                   "summary": {count,min,max,mean,stddev,p50,p95,p99}} ],
+//     "notes": [ "..." ],
+//     "exit_code": 0,
+//     "timing": { "jobs": n, "wall_seconds": s, "generated_at": iso8601 }
+//   }
+// Everything outside "timing" is a pure function of (binary, flags, seed):
+// strip "timing" and the file is byte-stable — the determinism tests and
+// the --jobs N == --jobs 1 guarantee rely on that split, so nothing
+// nondeterministic may ever be recorded outside "timing".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "runtime/json.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace reconfnet::runtime {
+
+class BenchResults {
+ public:
+  BenchResults(std::string experiment_id, std::string title,
+               std::string claim);
+
+  [[nodiscard]] const std::string& experiment_id() const {
+    return experiment_id_;
+  }
+
+  /// Arbitrary deterministic run metadata (seed, reps, config knobs).
+  void set_meta(const std::string& key, Json value);
+
+  /// Records a printed table verbatim (header + all cell strings).
+  void add_table(const std::string& name, const support::Table& table);
+
+  /// Records a metric series (e.g. one value per repetition) under a group
+  /// label, with aggregate statistics computed via support::summarize.
+  /// Returns the computed summary so callers can print it without redoing
+  /// the math.
+  support::Summary add_metric(const std::string& group,
+                              const std::string& name,
+                              std::span<const double> values);
+
+  /// Records an interpretation / free-text note.
+  void add_note(const std::string& text);
+
+  void set_exit_code(int code) { exit_code_ = code; }
+
+  /// Wall-clock info; lives in the "timing" section, the only part of the
+  /// file allowed to differ between --jobs 1 and --jobs N runs.
+  void set_timing(std::size_t jobs, double wall_seconds);
+
+  [[nodiscard]] Json to_json() const;
+  void write(std::ostream& os) const;
+  /// Writes the file; throws std::runtime_error if the path is not writable.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::string experiment_id_;
+  std::string title_;
+  std::string claim_;
+  Json meta_ = Json::object();
+  Json tables_ = Json::array();
+  Json metrics_ = Json::array();
+  Json notes_ = Json::array();
+  int exit_code_ = 0;
+  std::size_t jobs_ = 1;
+  double wall_seconds_ = 0.0;
+};
+
+/// The `git describe` of the checkout at configure time ("unknown" outside a
+/// git checkout). Baked in by CMake; goes stale until the next reconfigure,
+/// which is fine for a perf-trajectory label.
+std::string build_git_describe();
+
+/// Current UTC time formatted as ISO-8601 (timing metadata only).
+std::string iso8601_utc_now();
+
+}  // namespace reconfnet::runtime

@@ -1,0 +1,124 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace reconfnet::runtime {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t count = std::max<std::size_t>(workers, 1);
+  queues_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::submit: pool is stopping");
+    }
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    {
+      std::lock_guard<std::mutex> queue_lock(queues_[target]->mutex);
+      queues_[target]->tasks.push_back(std::move(task));
+    }
+    ++queued_;
+    ++pending_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::size_t ThreadPool::hardware_workers() {
+  return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+bool ThreadPool::try_acquire(std::size_t self, std::function<void()>& task) {
+  // Own queue first, newest task first (cache-warm); then steal the oldest
+  // task from a sibling, scanning from the next worker around the ring.
+  for (std::size_t offset = 0; offset < queues_.size(); ++offset) {
+    const std::size_t victim = (self + offset) % queues_.size();
+    WorkerQueue& queue = *queues_[victim];
+    {
+      std::lock_guard<std::mutex> queue_lock(queue.mutex);
+      if (queue.tasks.empty()) continue;
+      if (victim == self) {
+        task = std::move(queue.tasks.back());
+        queue.tasks.pop_back();
+      } else {
+        task = std::move(queue.tasks.front());
+        queue.tasks.pop_front();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --queued_;
+    }
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  while (true) {
+    std::function<void()> task;
+    if (try_acquire(self, task)) {
+      task();
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) all_done_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_ready_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    if (stopping_ && queued_ == 0) return;
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace reconfnet::runtime

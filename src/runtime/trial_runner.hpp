@@ -1,0 +1,89 @@
+// Deterministic fan-out of a trial grid across a thread pool.
+//
+// The determinism contract (DESIGN.md §7):
+//   1. Trial i's randomness is Rng(master_seed).split(i) — a pure function
+//      of (master_seed, i), independent of which worker runs the trial and
+//      of how many workers exist.
+//   2. Results are collected into slot i of the output vector, so the
+//      returned sequence is in submission order no matter how the scheduler
+//      interleaved execution.
+// Consequence: run(trials, fn) with jobs=N is byte-identical to jobs=1 for
+// any fn that only reads shared state. tests/determinism_test.cpp pins this.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::runtime {
+
+/// Everything a trial body may depend on: its index in the grid and its
+/// private RNG stream.
+struct TrialContext {
+  std::size_t index = 0;
+  support::Rng rng;
+
+  /// A fresh 64-bit seed drawn from the trial's stream, for components that
+  /// take a seed rather than an Rng (overlay Configs).
+  std::uint64_t derive_seed() { return rng.next(); }
+};
+
+class TrialRunner {
+ public:
+  TrialRunner(std::uint64_t master_seed, std::size_t jobs)
+      : master_seed_(master_seed), jobs_(jobs == 0 ? 1 : jobs) {}
+
+  [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+  /// The trial RNG is derived from a throwaway master generator so the
+  /// derivation never mutates shared state (Rng::split advances its parent).
+  static support::Rng trial_rng(std::uint64_t master_seed,
+                                std::size_t trial_index) {
+    support::Rng master(master_seed);
+    return master.split(trial_index);
+  }
+
+  /// Runs fn(TrialContext&) for every trial; returns results in trial-index
+  /// order. jobs=1 executes inline (the serial reference path); jobs>1 fans
+  /// out over a work-stealing pool. On failure the exception of the
+  /// lowest-index failing trial is rethrown after all trials finished.
+  template <typename Fn>
+  auto run(std::size_t trials, Fn&& fn)
+      -> std::vector<decltype(fn(std::declval<TrialContext&>()))> {
+    using Result = decltype(fn(std::declval<TrialContext&>()));
+    std::vector<std::optional<Result>> slots(trials);
+    auto run_one = [&](std::size_t i) {
+      TrialContext context{i, trial_rng(master_seed_, i)};
+      slots[i].emplace(fn(context));
+    };
+    if (jobs_ <= 1 || trials <= 1) {
+      for (std::size_t i = 0; i < trials; ++i) run_one(i);
+    } else {
+      ThreadPool pool(std::min(jobs_, trials));
+      parallel_for(pool, trials, run_one);
+    }
+    std::vector<Result> results;
+    results.reserve(trials);
+    for (auto& slot : slots) {
+      if (!slot.has_value()) {
+        throw std::logic_error("TrialRunner: trial produced no result");
+      }
+      results.push_back(std::move(*slot));
+    }
+    return results;
+  }
+
+ private:
+  std::uint64_t master_seed_;
+  std::size_t jobs_;
+};
+
+}  // namespace reconfnet::runtime

@@ -1,0 +1,116 @@
+#include "support/args.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace reconfnet::support {
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* expected) {
+  throw std::invalid_argument("--" + key + ": expected " + expected +
+                              ", got '" + value + "'");
+}
+
+}  // namespace
+
+Args::Args(int argc, const char* const* argv, int start,
+           const std::vector<std::string>& switches,
+           const std::vector<std::string>& optional_value) {
+  for (int i = start; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag, got: " + key);
+    }
+    key = key.substr(2);
+    const bool is_switch =
+        std::find(switches.begin(), switches.end(), key) != switches.end();
+    const bool is_optional =
+        std::find(optional_value.begin(), optional_value.end(), key) !=
+        optional_value.end();
+    if (is_switch) {
+      // Materializing the std::string before the assignment sidesteps a
+      // gcc-12 -Wrestrict false positive (PR 105329) on assigning a char
+      // literal into the map at -O3.
+      values_.insert_or_assign(key, std::string("1"));
+    } else if (is_optional &&
+               (i + 1 >= argc ||
+                std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+      values_.insert_or_assign(key, std::string());
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value for --" + key);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+}
+
+const std::string* Args::find(const std::string& key) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+std::size_t Args::get_size(const std::string& key,
+                           std::size_t fallback) const {
+  return static_cast<std::size_t>(get_u64(key, fallback));
+}
+
+std::uint64_t Args::get_u64(const std::string& key,
+                            std::uint64_t fallback) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return fallback;
+  // std::stoull silently accepts "-5" (wrapping it) and "12abc" (ignoring
+  // the tail); reject both so the error points at the flag, not the crash.
+  if (raw->empty() || (*raw)[0] == '-') {
+    bad_value(key, *raw, "an unsigned integer");
+  }
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t value = std::stoull(*raw, &consumed);
+    if (consumed != raw->size()) bad_value(key, *raw, "an unsigned integer");
+    return value;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *raw, "an unsigned integer");
+  } catch (const std::out_of_range&) {
+    bad_value(key, *raw, "an unsigned integer in range");
+  }
+}
+
+int Args::get_int(const std::string& key, int fallback) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(*raw, &consumed);
+    if (consumed != raw->size()) bad_value(key, *raw, "an integer");
+    return value;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *raw, "an integer");
+  } catch (const std::out_of_range&) {
+    bad_value(key, *raw, "an integer in range");
+  }
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(*raw, &consumed);
+    if (consumed != raw->size()) bad_value(key, *raw, "a number");
+    return value;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *raw, "a number");
+  } catch (const std::out_of_range&) {
+    bad_value(key, *raw, "a number in range");
+  }
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  const std::string* raw = find(key);
+  return raw == nullptr ? fallback : *raw;
+}
+
+}  // namespace reconfnet::support

@@ -1,0 +1,48 @@
+// Tiny command-line flag parser shared by the bench harness and the
+// reconfnet_sim tool: --key value pairs, boolean switches, and
+// optional-value flags (--json [path]).
+//
+// All numeric getters validate their input and throw std::invalid_argument
+// naming the offending flag, so a typo like `--n foo` produces a usage
+// message instead of an uncaught std::stoull exception.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace reconfnet::support {
+
+class Args {
+ public:
+  /// Parses argv[start..argc). Flags listed in `switches` take no value;
+  /// flags listed in `optional_value` consume the next token only when it
+  /// does not itself start with "--" (otherwise their value is "").
+  /// Throws std::invalid_argument on a token that is not a flag or on a
+  /// value flag with no value.
+  Args(int argc, const char* const* argv, int start,
+       const std::vector<std::string>& switches = {},
+       const std::vector<std::string>& optional_value = {});
+
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.contains(key);
+  }
+
+ private:
+  [[nodiscard]] const std::string* find(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace reconfnet::support

@@ -43,6 +43,30 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+void Table::to_csv(std::ostream& os) const {
+  const auto write_cell = [&os](const std::string& cell) {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (const char c : cell) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  };
+  const auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      write_cell(row[c]);
+    }
+    os << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
 std::string Table::num(double value, int precision) {
   std::ostringstream out;
   out << std::fixed << std::setprecision(precision) << value;

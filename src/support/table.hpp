@@ -22,7 +22,18 @@ class Table {
   void add_row(std::vector<std::string> cells);
   void print(std::ostream& os) const;
 
+  /// RFC-4180-style CSV: header row first, cells containing commas, quotes,
+  /// or newlines are double-quoted with embedded quotes doubled. Lets scripts
+  /// consume bench tables without scraping the aligned-column format.
+  void to_csv(std::ostream& os) const;
+
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& cells() const {
+    return rows_;
+  }
 
   /// Formats a double with the given precision (fixed notation).
   static std::string num(double value, int precision = 3);

@@ -14,6 +14,7 @@
 #include "churn/overlay.hpp"
 #include "combined/overlay.hpp"
 #include "dos/overlay.hpp"
+#include "runtime/trial_runner.hpp"
 #include "sim/snapshot.hpp"
 #include "support/rng.hpp"
 
@@ -138,6 +139,40 @@ TEST(Determinism, SerializationIsInjectiveOnObservableState) {
   b = a;
   b.round = 2;
   EXPECT_NE(sim::serialize(a), sim::serialize(b));
+}
+
+// --- parallel trial runtime -------------------------------------------------
+
+/// The experiment runtime extends the same-seed contract across threads: a
+/// full overlay scenario fanned over 8 workers must serialize byte-for-byte
+/// identically to the serial run, because every trial's randomness derives
+/// only from (master_seed, trial_index), never from scheduling.
+TEST(Determinism, TrialRunnerParallelMatchesSerialOnOverlayScenario) {
+  const auto run_with = [](std::size_t jobs) {
+    runtime::TrialRunner runner(0xD15EA5E, jobs);
+    return runner.run(12, [](runtime::TrialContext& trial) {
+      dos::DosOverlay::Config config;
+      config.size = 256;
+      config.group_c = 2.0;
+      config.seed = trial.derive_seed();
+      dos::DosOverlay overlay(config);
+      adversary::RandomDos adversary(trial.rng.split(1));
+      dos::DosOverlay::Attack attack;
+      attack.adversary = &adversary;
+      attack.lateness = 16;
+      attack.blocked_fraction = 0.3;
+      (void)overlay.run_epoch(attack);
+      const auto* latest = overlay.snapshots().latest();
+      return latest != nullptr ? sim::serialize(*latest)
+                               : std::vector<std::uint8_t>{};
+    });
+  };
+  const auto serial = run_with(1);
+  const auto parallel_result = run_with(8);
+  ASSERT_EQ(serial.size(), parallel_result.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel_result[i]) << "trial " << i;
+  }
 }
 
 }  // namespace

@@ -5,8 +5,11 @@
 #include <cmath>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "support/args.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -227,6 +230,90 @@ TEST(Table, NumFormatting) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::num(std::int64_t{-5}), "-5");
   EXPECT_EQ(Table::num(std::uint64_t{7}), "7");
+}
+
+TEST(Table, ToCsvQuotesSpecialCells) {
+  Table t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"comma,inside", "say \"hi\""});
+  t.add_row({"multi\nline", "trailing"});
+  std::ostringstream out;
+  t.to_csv(out);
+  EXPECT_EQ(out.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"comma,inside\",\"say \"\"hi\"\"\"\n"
+            "\"multi\nline\",trailing\n");
+}
+
+TEST(Table, ToCsvEmitsHeaderOnlyForEmptyTable) {
+  Table t({"a", "b"});
+  std::ostringstream out;
+  t.to_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n");
+}
+
+// --- Args -------------------------------------------------------------------
+
+/// Builds an Args from a literal argv (argv[0] = program, argv[1] = command,
+/// parsing starts at index 2 like the bench/sim binaries).
+Args make_args(const std::vector<const char*>& tail,
+               const std::vector<std::string>& switches = {},
+               const std::vector<std::string>& optional_value = {}) {
+  std::vector<const char*> argv{"prog", "cmd"};
+  argv.insert(argv.end(), tail.begin(), tail.end());
+  return Args(static_cast<int>(argv.size()), argv.data(), 2, switches,
+              optional_value);
+}
+
+TEST(Args, ParsesTypedValuesAndFallbacks) {
+  const auto args = make_args({"--n", "256", "--rate", "2.5", "--name", "x"});
+  EXPECT_EQ(args.get_size("n", 1), 256u);
+  EXPECT_EQ(args.get_u64("n", 1), 256u);
+  EXPECT_EQ(args.get_int("n", 1), 256);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(args.get_string("name", ""), "x");
+  EXPECT_EQ(args.get_size("missing", 77), 77u);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Args, SwitchesTakeNoValue) {
+  const auto args = make_args({"--static", "--n", "64"}, {"static"});
+  EXPECT_TRUE(args.has("static"));
+  EXPECT_EQ(args.get_size("n", 1), 64u);
+}
+
+TEST(Args, OptionalValueFlagConsumesOnlyNonFlagToken) {
+  const auto with_value =
+      make_args({"--json", "out.json", "--n", "8"}, {}, {"json"});
+  EXPECT_EQ(with_value.get_string("json", "?"), "out.json");
+  EXPECT_EQ(with_value.get_size("n", 1), 8u);
+  const auto without_value = make_args({"--json", "--n", "8"}, {}, {"json"});
+  EXPECT_TRUE(without_value.has("json"));
+  EXPECT_EQ(without_value.get_string("json", "?"), "");
+  EXPECT_EQ(without_value.get_size("n", 1), 8u);
+}
+
+TEST(Args, RejectsMalformedNumbersNamingTheFlag) {
+  const auto args = make_args({"--n", "12abc", "--rate", "fast", "--neg",
+                               "-3", "--big",
+                               "99999999999999999999999999999"});
+  try {
+    (void)args.get_size("n", 0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--n"), std::string::npos);
+  }
+  EXPECT_THROW((void)args.get_double("rate", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_size("neg", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_u64("big", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("big", 0), std::invalid_argument);
+  EXPECT_EQ(args.get_int("neg", 0), -3);
+}
+
+TEST(Args, RejectsNonFlagTokensAndMissingValues) {
+  EXPECT_THROW(make_args({"stray"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"--n"}), std::invalid_argument);
 }
 
 }  // namespace
