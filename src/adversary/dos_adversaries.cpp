@@ -20,8 +20,14 @@ std::unordered_map<sim::NodeId, std::vector<sim::NodeId>> adjacency(
   }
   std::unordered_map<sim::NodeId, std::vector<sim::NodeId>> adj;
   adj.reserve(sets.size());
-  for (auto& [node, nbrs] : sets) {
-    adj.emplace(node, std::vector<sim::NodeId>(nbrs.begin(), nbrs.end()));
+  // Walk the snapshot's node list (not the map) and sort each neighbor
+  // list, so the adjacency vectors the strategies iterate are independent
+  // of hash-bucket order.
+  for (sim::NodeId node : snap.nodes) {
+    const auto& nbrs = sets[node];
+    std::vector<sim::NodeId> list(nbrs.begin(), nbrs.end());
+    std::sort(list.begin(), list.end());
+    adj.emplace(node, std::move(list));
   }
   return adj;
 }
@@ -99,9 +105,9 @@ sim::BlockedSet GroupWipeDos::choose(const sim::TopologySnapshot* stale,
   sim::BlockedSet blocked;
   if (budget == 0) return blocked;
   const auto adj = adjacency(*stale);
-  std::vector<sim::NodeId> victims = stale->nodes;
-  rng_.shuffle(std::span<sim::NodeId>(victims));
-  for (sim::NodeId victim : victims) {
+  std::vector<sim::NodeId> victim_order = stale->nodes;
+  rng_.shuffle(std::span<sim::NodeId>(victim_order));
+  for (sim::NodeId victim : victim_order) {
     if (blocked.contains(victim)) continue;
     const auto it = adj.find(victim);
     if (it == adj.end()) continue;
@@ -123,7 +129,7 @@ sim::BlockedSet GroupWipeDos::choose(const sim::TopologySnapshot* stale,
     for (sim::NodeId member : clique) blocked.insert(member);
     if (blocked.size() >= budget) break;
   }
-  for (sim::NodeId node : victims) {
+  for (sim::NodeId node : victim_order) {
     if (blocked.size() >= budget) break;
     blocked.insert(node);
   }

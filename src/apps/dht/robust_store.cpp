@@ -27,6 +27,7 @@ std::optional<RobustStore::Value> RobustStore::peek(Key key) const {
 
 std::size_t RobustStore::record_count() const {
   std::size_t total = 0;
+  // reconfnet-lint: allow(RNL005) commutative sum over shard sizes
   for (const auto& [supernode, shard] : shards_) total += shard.size();
   return total;
 }
@@ -97,6 +98,7 @@ RobustStore::BatchReport RobustStore::execute(
       }
     }
   }
+  // reconfnet-lint: allow(RNL005) max-reduction; order cannot change the max
   for (const auto& [group, hops] : congestion) {
     report.max_group_congestion = std::max(report.max_group_congestion, hops);
   }

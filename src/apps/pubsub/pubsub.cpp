@@ -122,6 +122,7 @@ PubSub::AggregateReport PubSub::aggregate_publish(
     ++combined_congestion[publication.origin_group];
   }
   // Correct the combined origin tally: one message per (group, topic).
+  // reconfnet-lint: allow(RNL005) writes the same value to every entry
   for (auto& [group_id, count] : combined_congestion) count = 0;
   for (const auto& [key, flight] : flights) ++combined_congestion[key.first];
 
@@ -176,9 +177,11 @@ PubSub::AggregateReport PubSub::aggregate_publish(
     store_->deposit(ckey, base + payloads.size());
     report.published += payloads.size();
   }
+  // reconfnet-lint: allow(RNL005) max-reduction; order cannot change the max
   for (const auto& [group_id, load] : combined_congestion) {
     report.combined_congestion = std::max(report.combined_congestion, load);
   }
+  // reconfnet-lint: allow(RNL005) max-reduction; order cannot change the max
   for (const auto& [group_id, load] : naive_congestion) {
     report.naive_congestion = std::max(report.naive_congestion, load);
   }

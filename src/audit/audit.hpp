@@ -72,6 +72,10 @@ inline std::atomic<bool>& enabled_flag() {
 #else
     bool on = false;
 #endif
+    // The environment read happens once inside this function-local static's
+    // initializer, which the runtime serialises before any worker thread can
+    // reach the flag.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded static init
     if (const char* env = std::getenv("RECONFNET_AUDIT")) {
       const std::string_view value(env);
       on = !(value == "0" || value == "off" || value == "false" ||

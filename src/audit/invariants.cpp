@@ -9,6 +9,7 @@
 #include "dos/group_table.hpp"
 #include "graph/hgraph.hpp"
 #include "sim/metrics.hpp"
+#include "support/sorted.hpp"
 
 namespace reconfnet::audit {
 namespace {
@@ -370,7 +371,9 @@ std::vector<Violation> check_blocked_budget(
         "adversary blocked " + std::to_string(blocked.size()) +
             " nodes, exceeding its budget of " + std::to_string(budget));
   }
-  for (sim::NodeId node : blocked) {
+  // Sorted extraction so the reported node (and thus the AuditError text)
+  // is the same on every standard library, not whichever bucket comes first.
+  for (sim::NodeId node : support::sorted(blocked)) {
     if (!known_ids.contains(node)) {
       add(out, "adversary.budget",
           "adversary blocked node " + std::to_string(node) +

@@ -7,6 +7,7 @@
 #include "audit/audit.hpp"
 #include "audit/invariants.hpp"
 #include "graph/connectivity.hpp"
+#include "support/sorted.hpp"
 
 namespace reconfnet::churn {
 
@@ -154,8 +155,11 @@ ChurnOverlay::EpochReport ChurnOverlay::run_epoch(
   // surviving member (the paper's delegation rule).
   std::unordered_set<sim::NodeId> member_set(members_.begin(),
                                              members_.end());
+  // Sorted sponsor order: the delegation loop below consumes the overlay
+  // RNG per orphan, so the processing order must not depend on hash-bucket
+  // order or the whole trajectory forks across standard libraries.
   std::vector<sim::NodeId> orphaned_sponsors;
-  for (const auto& [sponsor, list] : staged_joins_) {
+  for (sim::NodeId sponsor : support::sorted_keys(staged_joins_)) {
     if (!member_set.contains(sponsor)) orphaned_sponsors.push_back(sponsor);
   }
   for (sim::NodeId sponsor : orphaned_sponsors) {
@@ -168,9 +172,9 @@ ChurnOverlay::EpochReport ChurnOverlay::run_epoch(
   }
   // Leaves staged during the epoch that already left are impossible by the
   // sponsor/member checks; leaves referring to stayers remain staged.
-  for (auto it = staged_leaves_.begin(); it != staged_leaves_.end();) {
-    it = member_set.contains(*it) ? std::next(it) : staged_leaves_.erase(it);
-  }
+  std::erase_if(staged_leaves_, [&member_set](sim::NodeId node) {
+    return !member_set.contains(node);
+  });
 
   // Validate connectivity of the rebuilt overlay.
   report.connected = graph::is_connected(

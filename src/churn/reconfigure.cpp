@@ -268,7 +268,10 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
   std::vector<std::vector<std::size_t>> succ_tables(
       static_cast<std::size_t>(cycles),
       std::vector<std::size_t>(new_n, kNoIndex));
-  for (const auto& [id, index] : new_index) {
+  // Walk the membership vector (deterministic placement order) rather than
+  // the unordered index map; each id fills its own successor-table cells.
+  for (std::size_t index = 0; index < new_members.size(); ++index) {
+    const sim::NodeId id = new_members[index];
     for (const auto& envelope : neighbor_bus.inbox(id)) {
       const auto c = static_cast<std::size_t>(envelope.payload.cycle);
       const auto succ_it = new_index.find(envelope.payload.succ);

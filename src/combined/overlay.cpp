@@ -8,6 +8,7 @@
 #include "audit/invariants.hpp"
 #include "graph/connectivity.hpp"
 #include "sampling/hypercube_sampler.hpp"
+#include "support/sorted.hpp"
 
 namespace reconfnet::combined {
 namespace {
@@ -134,6 +135,8 @@ void CombinedOverlay::advance_round(adversary::ChurnAdversary& churn,
     }
   }
   // Crashed members are silent forever, on top of any adversary budget.
+  // reconfnet-lint: allow(RNL005) set union into a BlockedSet; the result's
+  // contents do not depend on the iteration order
   for (sim::NodeId node : crashed_) blocked.insert(node);
 
   std::uint64_t max_bits = 0;
@@ -385,8 +388,10 @@ CombinedOverlay::EpochReport CombinedOverlay::run_epoch(
   const auto member_list = super_.all_nodes();
   std::unordered_set<sim::NodeId> member_set(member_list.begin(),
                                              member_list.end());
+  // Sorted sponsor order: each orphan draws a delegate from the overlay
+  // RNG, so hash-bucket order must not pick the processing sequence.
   std::vector<sim::NodeId> orphaned;
-  for (const auto& [sponsor, list] : staged_joins_) {
+  for (sim::NodeId sponsor : support::sorted_keys(staged_joins_)) {
     if (!member_set.contains(sponsor)) orphaned.push_back(sponsor);
   }
   for (sim::NodeId sponsor : orphaned) {
@@ -396,13 +401,13 @@ CombinedOverlay::EpochReport CombinedOverlay::run_epoch(
     auto& dest = staged_joins_[delegate];
     dest.insert(dest.end(), list.begin(), list.end());
   }
-  for (auto it = staged_leaves_.begin(); it != staged_leaves_.end();) {
-    it = member_set.contains(*it) ? std::next(it) : staged_leaves_.erase(it);
-  }
+  std::erase_if(staged_leaves_, [&member_set](sim::NodeId node) {
+    return !member_set.contains(node);
+  });
   // Crashed nodes that have now left the overlay need no further emulation.
-  for (auto it = crashed_.begin(); it != crashed_.end();) {
-    it = member_set.contains(*it) ? std::next(it) : crashed_.erase(it);
-  }
+  std::erase_if(crashed_, [&member_set](sim::NodeId node) {
+    return !member_set.contains(node);
+  });
 
   report.success = report.disconnected_rounds == 0;
   if (!report.success) report.failure_reason = "disconnected";

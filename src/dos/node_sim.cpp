@@ -403,6 +403,8 @@ NodeLevelReport run_node_level_epoch(
   step_bus();
 
   // Round D: the new members collect their neighbor groups.
+  // reconfnet-lint: allow(RNL005) each node reads only its own inbox and
+  // writes only its own knowledge entry; nodes are independent
   for (const auto& [id, node] : nodes) {
     for (const auto& envelope : bus.inbox(id)) {
       const auto& payload = envelope.payload;
@@ -466,6 +468,8 @@ NodeLevelReport run_node_level_epoch(
   bool consistent = true;
   const sim::Round round_c = report.rounds - 2;
   const sim::Round round_d = report.rounds - 1;
+  // reconfnet-lint: allow(RNL005) AND-reduction of per-node consistency;
+  // order cannot change the verdict
   for (const auto& [id, node] : nodes) {
     if (!is_available(id, round_c) || !is_available(id, round_d)) continue;
     const auto it = knowledge.find(id);

@@ -1,6 +1,11 @@
 #include "runtime/results.hpp"
 
+// The two time headers feed iso8601_utc_now() only — the `timing` block of
+// BENCH_*.json is explicitly excluded from the determinism contract (the
+// bench-smoke CI job strips it before comparing --jobs 1 to --jobs N).
+// reconfnet-lint: allow(RNL003) timing metadata section
 #include <chrono>
+// reconfnet-lint: allow(RNL003) timing metadata section
 #include <ctime>
 #include <fstream>
 #include <stdexcept>
@@ -109,9 +114,13 @@ void BenchResults::write_file(const std::string& path) const {
 std::string build_git_describe() { return RECONFNET_GIT_DESCRIBE; }
 
 std::string iso8601_utc_now() {
+  // reconfnet-lint: allow(RNL003) generated_at stamp in the timing block,
+  // which sits outside the deterministic result payload
   const std::time_t now =
+      // reconfnet-lint: allow(RNL003) continuation of the timing stamp read
       std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
   std::tm utc{};
+  // reconfnet-lint: allow(RNL003) formatting of the timing stamp above
   gmtime_r(&now, &utc);
   char buffer[32];
   std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);

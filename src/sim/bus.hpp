@@ -79,6 +79,7 @@ class Bus {
   /// blocked set for the round about to begin.
   void step(const BlockedSet& blocked_sending,
             const BlockedSet& blocked_delivery) {
+    // reconfnet-lint: allow(RNL005) clears every inbox; order-independent
     for (auto& inbox : inboxes_) inbox.second.clear();
     for (auto& [envelope, bits] : outbox_) {
       const bool delivered = !blocked_sending.contains(envelope.from) &&

@@ -22,6 +22,7 @@ void WorkMeter::finish_round(Round round) {
   RoundWork agg;
   agg.round = round;
   agg.dropped_messages = current_dropped_;
+  // reconfnet-lint: allow(RNL005) commutative max/sum aggregation per round
   for (const auto& [node, work] : current_) {
     agg.max_node_bits = std::max(agg.max_node_bits, work.bits_total());
     agg.total_bits += work.bits_total();

@@ -1,0 +1,7 @@
+// Fixture: a top-layer header that correctly includes downward. Registered
+// by the test as src/runtime/high.hpp.
+#pragma once
+
+#include "support/low.hpp"
+
+inline int high_value() { return low_value() + 1; }

@@ -1,0 +1,5 @@
+// Fixture: a bottom-layer header. Registered by the test as
+// src/support/low.hpp.
+#pragma once
+
+inline int low_value() { return 1; }

@@ -1,0 +1,5 @@
+// Fixture: a bottom-layer file reaching up the DAG. Registered by the test
+// as src/support/upward.cpp; the include of runtime/high.hpp is RNL101.
+#include "runtime/high.hpp"
+
+int upward() { return high_value(); }

@@ -1,0 +1,7 @@
+// Fixture: seeds from the hardware entropy source. RNL001 must fire.
+#include <random>
+
+unsigned seed_from_entropy() {
+  std::random_device device;
+  return device();
+}

@@ -1,0 +1,16 @@
+// Fixture: hidden global-state RNG. RNL002 must fire for srand() and the
+// trailing rand() call — and, the checker being token-level, also for the
+// declaration of a function spelled `rand`. The call through an object
+// (gen.rand()) is member access and must stay clean.
+#include <cstdlib>
+
+struct Gen {
+  int rand() { return 4; }
+};
+
+int roll() {
+  srand(7);
+  Gen gen;
+  int ok = gen.rand();  // member access: not the global rand()
+  return rand() + ok;
+}

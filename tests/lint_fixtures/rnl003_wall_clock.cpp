@@ -1,0 +1,9 @@
+// Fixture: wall-clock inputs. RNL003 must fire on the include, the
+// std::chrono use, and the time() call.
+#include <chrono>
+#include <ctime>
+
+long now_pair() {
+  const auto tick = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<long>(tick.count()) + time(nullptr);
+}

@@ -1,0 +1,4 @@
+// Fixture: build-time stamps baked into the binary. RNL004 must fire on
+// each line.
+const char* build_date() { return __DATE__; }
+const char* build_time() { return __TIME__; }

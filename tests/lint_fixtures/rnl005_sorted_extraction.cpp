@@ -1,0 +1,13 @@
+// Fixture: the sanctioned idiom — extract into a vector, sort, iterate.
+// Must produce zero findings.
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+int drain_sorted(const std::unordered_set<int>& members) {
+  std::vector<int> ordered(members.begin(), members.end());
+  std::sort(ordered.begin(), ordered.end());
+  int total = 0;
+  for (int member : ordered) total += member;
+  return total;
+}

@@ -1,0 +1,22 @@
+// Fixture: iteration over unordered containers. RNL005 must fire for the
+// range-for over the map, the range-for over the set member, and the
+// iterator loop, but not for the vector loop.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct State {
+  std::unordered_set<int> members;
+};
+
+int drain(const std::unordered_map<int, int>& weights, const State& state) {
+  int total = 0;
+  for (const auto& [node, weight] : weights) total += node * weight;
+  for (int member : state.members) total += member;
+  for (auto it = state.members.begin(); it != state.members.end(); ++it) {
+    total -= *it;
+  }
+  std::vector<int> ordered{1, 2, 3};
+  for (int value : ordered) total += value;
+  return total;
+}

@@ -1,0 +1,12 @@
+// Fixture: pointer values used as keys or converted to integers. RNL006 must
+// fire on the hash specialisation and on the reinterpret_cast.
+#include <cstdint>
+#include <functional>
+
+struct Node {};
+
+std::size_t key_of(Node* node) {
+  std::hash<Node*> hasher;
+  const auto raw = reinterpret_cast<std::uintptr_t>(node);
+  return hasher(node) ^ static_cast<std::size_t>(raw);
+}

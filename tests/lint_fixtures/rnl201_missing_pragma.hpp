@@ -1,0 +1,2 @@
+// Fixture: header without #pragma once. RNL201 must fire.
+inline int answer() { return 42; }

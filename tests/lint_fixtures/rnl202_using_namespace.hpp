@@ -1,0 +1,8 @@
+// Fixture: using-directive in a header. RNL202 must fire (RNL201 must not).
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+inline string shout() { return "hi"; }

@@ -1,0 +1,8 @@
+// Fixture: suppressions for other linters still need a rule and a reason.
+// The first two NOLINTs are bare or reason-less (RNL203 fires); the third is
+// well-formed and the NOLINTEND closer inherits its justification.
+int first = 1;   // NOLINT
+int second = 2;  // NOLINT(misc-foo)
+// NOLINTBEGIN(misc-foo): fixture exercises the well-formed path
+int third = 3;
+// NOLINTEND(misc-foo)

@@ -1,0 +1,5 @@
+// Fixture: reconfnet-lint suppressions that do not parse. RNL204 must fire
+// for the empty id list, the bad id, and the missing reason.
+int a = 1;  // reconfnet-lint: allow() nothing inside
+int b = 2;  // reconfnet-lint: allow(RNL5) id is not RNLddd
+int c = 3;  // reconfnet-lint: allow(RNL002)

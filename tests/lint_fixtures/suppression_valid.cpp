@@ -1,0 +1,13 @@
+// Fixture: well-formed suppressions on the same line and on the line above.
+// Both rand() calls are suppressed; the run must report zero findings and
+// two suppressed hits.
+#include <cstdlib>
+
+int roll_once() {
+  return rand();  // reconfnet-lint: allow(RNL002) fixture exercises same-line
+}
+
+int roll_twice() {
+  // reconfnet-lint: allow(RNL002) fixture exercises the line-above form
+  return rand();
+}

@@ -1,0 +1,248 @@
+// Tests for reconfnet_lint (tools/lint/): one test per rule id, driven by the
+// fixture files in tests/lint_fixtures/, plus coverage for the suppression
+// syntax, the config parser, and the layer map. The fixtures directory is
+// excluded from the repo-wide walk in tools/lint/main.cpp, so the deliberate
+// violations below never reach the real gate; the tests feed them to the
+// Driver by hand under synthetic repo-relative paths.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+namespace lint = reconfnet::lint;
+
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(RECONFNET_LINT_FIXTURES) + "/" + name;
+  std::ifstream in(path);
+  if (!in) ADD_FAILURE() << "cannot open fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A config whose single layer covers everything the determinism/hygiene
+/// tests register, so layering never interferes with them.
+lint::Config flat_config() {
+  lint::Config config;
+  config.layers.push_back({"all", {"src/"}});
+  return config;
+}
+
+/// The two-layer map used by the layering tests: support below runtime.
+lint::Config layered_config() {
+  lint::Config config;
+  config.layers.push_back({"support", {"src/support/"}});
+  config.layers.push_back({"runtime", {"src/runtime/"}});
+  return config;
+}
+
+/// Lines on which `rule` fired, in report order.
+std::vector<std::size_t> lines_of(const lint::Driver::Result& result,
+                                  const std::string& rule) {
+  std::vector<std::size_t> lines;
+  for (const auto& finding : result.findings) {
+    if (finding.rule == rule) lines.push_back(finding.line);
+  }
+  return lines;
+}
+
+lint::Driver::Result run_fixture(const std::string& fixture,
+                                 const std::string& as_path) {
+  lint::Driver driver(flat_config());
+  driver.add_file(as_path, read_fixture(fixture));
+  return driver.run();
+}
+
+using Lines = std::vector<std::size_t>;
+
+TEST(LintDeterminism, Rnl001FlagsRandomDevice) {
+  const auto result =
+      run_fixture("rnl001_random_device.cpp", "src/rnl001.cpp");
+  EXPECT_EQ(lines_of(result, "RNL001"), (Lines{5}));
+}
+
+TEST(LintDeterminism, Rnl002FlagsGlobalRandButNotMembers) {
+  const auto result = run_fixture("rnl002_global_rand.cpp", "src/rnl002.cpp");
+  // The `int rand()` declaration, srand(7), and the trailing rand() call;
+  // gen.rand() is member access and stays clean.
+  EXPECT_EQ(lines_of(result, "RNL002"), (Lines{8, 12, 15}));
+}
+
+TEST(LintDeterminism, Rnl003FlagsClockIncludesAndCalls) {
+  const auto result = run_fixture("rnl003_wall_clock.cpp", "src/rnl003.cpp");
+  // <chrono>, <ctime>, the std::chrono:: use, and time(nullptr).
+  EXPECT_EQ(lines_of(result, "RNL003"), (Lines{3, 4, 7, 8}));
+}
+
+TEST(LintDeterminism, Rnl004FlagsBuildStamps) {
+  const auto result = run_fixture("rnl004_build_stamp.cpp", "src/rnl004.cpp");
+  EXPECT_EQ(lines_of(result, "RNL004"), (Lines{3, 4}));
+}
+
+TEST(LintDeterminism, Rnl005FlagsUnorderedIterationOnly) {
+  const auto result =
+      run_fixture("rnl005_unordered_iteration.cpp", "src/rnl005.cpp");
+  // Range-for over the map, range-for over the set member, iterator loop.
+  // The vector loop two lines later must stay clean.
+  EXPECT_EQ(lines_of(result, "RNL005"), (Lines{14, 15, 16}));
+}
+
+TEST(LintDeterminism, Rnl005AcceptsSortedExtraction) {
+  const auto result =
+      run_fixture("rnl005_sorted_extraction.cpp", "src/sorted.cpp");
+  EXPECT_TRUE(result.findings.empty())
+      << "sorted-extraction idiom should be clean, got "
+      << result.findings.size() << " findings";
+}
+
+TEST(LintDeterminism, Rnl006FlagsPointerKeys) {
+  const auto result =
+      run_fixture("rnl006_pointer_keys.cpp", "src/rnl006.cpp");
+  // std::hash<Node*> and reinterpret_cast<std::uintptr_t>.
+  EXPECT_EQ(lines_of(result, "RNL006"), (Lines{9, 10}));
+}
+
+TEST(LintHygiene, Rnl201FlagsMissingPragmaOnce) {
+  const auto result =
+      run_fixture("rnl201_missing_pragma.hpp", "src/rnl201.hpp");
+  EXPECT_EQ(lines_of(result, "RNL201"), (Lines{1}));
+}
+
+TEST(LintHygiene, Rnl202FlagsUsingNamespaceInHeader) {
+  const auto result =
+      run_fixture("rnl202_using_namespace.hpp", "src/rnl202.hpp");
+  EXPECT_EQ(lines_of(result, "RNL202"), (Lines{6}));
+  EXPECT_TRUE(lines_of(result, "RNL201").empty()) << "has #pragma once";
+}
+
+TEST(LintHygiene, Rnl203FlagsBareNolint) {
+  const auto result =
+      run_fixture("rnl203_bare_nolint.cpp", "src/rnl203.cpp");
+  // The bare and the reason-less suppressions fire; the fixture's justified
+  // begin/end pair is accepted.
+  EXPECT_EQ(lines_of(result, "RNL203"), (Lines{4, 5}));
+}
+
+TEST(LintHygiene, Rnl204FlagsMalformedSuppressions) {
+  const auto result =
+      run_fixture("rnl204_malformed_suppression.cpp", "src/rnl204.cpp");
+  // Empty id list, bad id, and missing reason.
+  EXPECT_EQ(lines_of(result, "RNL204"), (Lines{3, 4, 5}));
+}
+
+TEST(LintSuppression, SameLineAndLineAboveFormsSuppress) {
+  const auto result =
+      run_fixture("suppression_valid.cpp", "src/suppressed.cpp");
+  EXPECT_TRUE(result.findings.empty())
+      << "both rand() calls carry well-formed suppressions";
+  EXPECT_EQ(result.suppressed, 2u);
+}
+
+TEST(LintSuppression, PathAllowlistSilencesRuleWholesale) {
+  lint::Config config = flat_config();
+  config.allow["RNL002"] = {"src/legacy/"};
+  lint::Driver driver(std::move(config));
+  driver.add_file("src/legacy/old.cpp", "int r() { return rand(); }\n");
+  const auto result = driver.run();
+  EXPECT_TRUE(result.findings.empty());
+  // Path allowances are carve-outs, not suppressions; they are not counted.
+  EXPECT_EQ(result.suppressed, 0u);
+}
+
+TEST(LintLayering, Rnl101FlagsUpwardInclude) {
+  lint::Driver driver(layered_config());
+  driver.add_file("src/support/low.hpp", read_fixture("layering_low.hpp"));
+  driver.add_file("src/runtime/high.hpp", read_fixture("layering_high.hpp"));
+  driver.add_file("src/support/upward.cpp",
+                  read_fixture("layering_upward.cpp"));
+  const auto result = driver.run();
+  ASSERT_EQ(lines_of(result, "RNL101"), (Lines{3}));
+  // The downward include in high.hpp is legal, so RNL101 is the only hit.
+  EXPECT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].file, "src/support/upward.cpp");
+}
+
+TEST(LintLayering, Rnl102FlagsUnmappedFileAndUnresolvedInclude) {
+  lint::Driver driver(layered_config());
+  driver.add_file("scripts/tool.cpp", "int main() { return 0; }\n");
+  driver.add_file("src/support/dangling.cpp",
+                  "#include \"nowhere/missing.hpp\"\n");
+  const auto result = driver.run();
+  ASSERT_EQ(result.findings.size(), 2u);
+  EXPECT_EQ(result.findings[0].file, "scripts/tool.cpp");
+  EXPECT_EQ(result.findings[0].rule, "RNL102");
+  EXPECT_EQ(result.findings[0].line, 1u);
+  EXPECT_EQ(result.findings[1].file, "src/support/dangling.cpp");
+  EXPECT_EQ(result.findings[1].rule, "RNL102");
+  EXPECT_EQ(result.findings[1].line, 1u);
+}
+
+TEST(LintStrip, CommentsAndStringsDoNotFire) {
+  lint::Driver driver(flat_config());
+  driver.add_file("src/strings.cpp",
+                  "// rand() lives in this comment\n"
+                  "const char* label = \"rand() __DATE__ random_device\";\n"
+                  "/* time(nullptr) in a block comment */\n");
+  const auto result = driver.run();
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(LintConfig, ParsesLayersAndAllowances) {
+  const std::string text =
+      "# comment\n"
+      "[[layer]]\n"
+      "name = \"support\"\n"
+      "paths = [\"src/support/\"]\n"
+      "\n"
+      "[[layer]]\n"
+      "name = \"runtime\"\n"
+      "paths = [\"src/runtime/\", \"tools/\"]\n"
+      "\n"
+      "[allow]\n"
+      "RNL003 = [\"bench/common.hpp\"]\n";
+  lint::Config config;
+  std::string error;
+  ASSERT_TRUE(lint::parse_config(text, config, error)) << error;
+  ASSERT_EQ(config.layers.size(), 2u);
+  EXPECT_EQ(config.layers[0].name, "support");
+  EXPECT_EQ(config.layers[1].paths,
+            (std::vector<std::string>{"src/runtime/", "tools/"}));
+  ASSERT_EQ(config.allow.count("RNL003"), 1u);
+  EXPECT_EQ(config.allow.at("RNL003"),
+            (std::vector<std::string>{"bench/common.hpp"}));
+}
+
+TEST(LintConfig, RejectsMalformedInput) {
+  lint::Config config;
+  std::string error;
+  EXPECT_FALSE(
+      lint::parse_config("[[layer]]\nname = \"x\"\npaths = 7\n", config,
+                         error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(LintConfig, RepoLayerMapParsesAndCoversKnownFiles) {
+  // The shipped layers.toml must stay parseable and must map the core tree.
+  std::ifstream in(std::string(RECONFNET_LINT_LAYERS));
+  ASSERT_TRUE(in) << "cannot open " << RECONFNET_LINT_LAYERS;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  lint::Config config;
+  std::string error;
+  ASSERT_TRUE(lint::parse_config(buffer.str(), config, error)) << error;
+  EXPECT_GE(config.layers.size(), 8u);
+  lint::Driver driver(std::move(config));
+  driver.add_file("src/support/probe.cpp", "int probe() { return 0; }\n");
+  driver.add_file("tests/probe_test.cpp", "int probe() { return 0; }\n");
+  const auto result = driver.run();
+  EXPECT_TRUE(lines_of(result, "RNL102").empty())
+      << "core paths must be covered by the shipped layer map";
+}
+
+}  // namespace

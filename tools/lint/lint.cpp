@@ -1,0 +1,869 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace reconfnet::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small string helpers
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// ---------------------------------------------------------------------------
+// Token stream over the stripped source
+
+struct Tok {
+  enum class Kind { kIdent, kPunct } kind;
+  std::string text;
+  std::size_t line;  // 1-based
+};
+
+std::vector<Tok> tokenize(const std::vector<std::string>& code) {
+  std::vector<Tok> toks;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& s = code[li];
+    std::size_t i = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (is_ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < s.size() && is_ident_char(s[j])) ++j;
+        toks.push_back({Tok::Kind::kIdent, s.substr(i, j - i), li + 1});
+        i = j;
+        continue;
+      }
+      // Multi-char punctuation we must not split: `::` (so a lone `:` means
+      // range-for) and `->` (so a lone `>` means template close).
+      if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+        toks.push_back({Tok::Kind::kPunct, "::", li + 1});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+        toks.push_back({Tok::Kind::kPunct, "->", li + 1});
+        i += 2;
+        continue;
+      }
+      toks.push_back({Tok::Kind::kPunct, std::string(1, c), li + 1});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+bool tok_is(const std::vector<Tok>& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+/// `i` points at `<`; returns the index one past the matching `>`, or
+/// `t.size()` if unbalanced. Good enough for type contexts, where comparison
+/// operators cannot appear.
+std::size_t skip_angles(const std::vector<Tok>& t, std::size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].text == "<") ++depth;
+    if (t[i].text == ">" && --depth == 0) return i + 1;
+    if (t[i].text == ";") break;  // statement ended: malformed, bail
+  }
+  return t.size();
+}
+
+const std::set<std::string>& cpp_keywords() {
+  static const std::set<std::string> kKeywords = {
+      "alignas",  "alignof",  "auto",      "bool",     "break",    "case",
+      "catch",    "char",     "class",     "const",    "constexpr","continue",
+      "decltype", "default",  "delete",    "do",       "double",   "else",
+      "enum",     "explicit", "extern",    "false",    "float",    "for",
+      "friend",   "if",       "inline",    "int",      "long",     "mutable",
+      "namespace","new",      "noexcept",  "nullptr",  "operator", "private",
+      "protected","public",   "return",    "short",    "signed",   "sizeof",
+      "static",   "struct",   "switch",    "template", "this",     "throw",
+      "true",     "try",      "typedef",   "typename", "union",    "unsigned",
+      "using",    "virtual",  "void",      "volatile", "while"};
+  return kKeywords;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+struct LineSuppressions {
+  /// line -> rule ids allowed on that line.
+  std::map<std::size_t, std::set<std::string>> allow;
+  /// lines carrying a malformed reconfnet-lint comment.
+  std::vector<std::size_t> malformed;
+};
+
+/// Parses `reconfnet-lint: allow(RNLxxx[, RNLyyy]) reason` out of comment
+/// text. Returns false when the marker is present but malformed.
+bool parse_allow_comment(const std::string& comment,
+                         std::set<std::string>& rules) {
+  const std::size_t marker = comment.find("reconfnet-lint:");
+  std::size_t i = marker + std::string("reconfnet-lint:").size();
+  while (i < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[i])) != 0)
+    ++i;
+  if (comment.compare(i, 6, "allow(") != 0) return false;
+  i += 6;
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string::npos) return false;
+  std::string inside = comment.substr(i, close - i);
+  std::replace(inside.begin(), inside.end(), ',', ' ');
+  std::istringstream ids(inside);
+  std::string id;
+  while (ids >> id) {
+    if (id.size() != 6 || id.compare(0, 3, "RNL") != 0 ||
+        !std::all_of(id.begin() + 3, id.end(), [](char c) {
+          return std::isdigit(static_cast<unsigned char>(c)) != 0;
+        })) {
+      return false;
+    }
+    rules.insert(id);
+  }
+  if (rules.empty()) return false;
+  // A suppression without a reason is itself a finding: the reason is what
+  // makes the exemption auditable.
+  const std::string reason = trim(comment.substr(close + 1));
+  return !reason.empty();
+}
+
+LineSuppressions collect_suppressions(const SourceFile& file) {
+  LineSuppressions out;
+  for (std::size_t li = 0; li < file.comments.size(); ++li) {
+    const std::string& comment = file.comments[li];
+    if (comment.find("reconfnet-lint:") == std::string::npos) continue;
+    std::set<std::string> rules;
+    const std::size_t line = li + 1;
+    if (!parse_allow_comment(comment, rules)) {
+      out.malformed.push_back(line);
+      continue;
+    }
+    out.allow[line].insert(rules.begin(), rules.end());
+    // A comment-only line suppresses the next line that has code on it.
+    if (trim(file.code[li]).empty()) {
+      std::size_t target = li + 1;
+      while (target < file.code.size() && trim(file.code[target]).empty())
+        ++target;
+      if (target < file.code.size())
+        out.allow[target + 1].insert(rules.begin(), rules.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Config parsing (layers.toml subset)
+
+namespace {
+
+/// Parses `["a", "b"]` into items; returns false on malformed input.
+bool parse_string_array(const std::string& value,
+                        std::vector<std::string>& items) {
+  const std::string inner = trim(value);
+  if (inner.size() < 2 || inner.front() != '[' || inner.back() != ']')
+    return false;
+  std::size_t i = 1;
+  const std::size_t end = inner.size() - 1;
+  while (i < end) {
+    while (i < end &&
+           (std::isspace(static_cast<unsigned char>(inner[i])) != 0 ||
+            inner[i] == ','))
+      ++i;
+    if (i >= end) break;
+    if (inner[i] != '"') return false;
+    const std::size_t close = inner.find('"', i + 1);
+    if (close == std::string::npos || close > end) return false;
+    items.push_back(inner.substr(i + 1, close - i - 1));
+    i = close + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_config(const std::string& text, Config& config,
+                  std::string& error) {
+  config = Config{};
+  enum class Section { kNone, kLayer, kAllow } section = Section::kNone;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    const std::string line =
+        trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+    if (line == "[[layer]]") {
+      config.layers.push_back({});
+      section = Section::kLayer;
+      continue;
+    }
+    if (line == "[allow]") {
+      section = Section::kAllow;
+      continue;
+    }
+    if (line.front() == '[') {
+      error = "line " + std::to_string(lineno) + ": unknown section " + line;
+      return false;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      error = "line " + std::to_string(lineno) + ": expected key = value";
+      return false;
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (section == Section::kLayer) {
+      if (config.layers.empty()) {
+        error = "line " + std::to_string(lineno) + ": key outside [[layer]]";
+        return false;
+      }
+      if (key == "name") {
+        if (value.size() < 2 || value.front() != '"' || value.back() != '"') {
+          error = "line " + std::to_string(lineno) + ": name wants a string";
+          return false;
+        }
+        config.layers.back().name = value.substr(1, value.size() - 2);
+      } else if (key == "paths") {
+        if (!parse_string_array(value, config.layers.back().paths)) {
+          error = "line " + std::to_string(lineno) + ": bad paths array";
+          return false;
+        }
+      } else {
+        error = "line " + std::to_string(lineno) + ": unknown layer key " + key;
+        return false;
+      }
+    } else if (section == Section::kAllow) {
+      if (!parse_string_array(value, config.allow[key])) {
+        error = "line " + std::to_string(lineno) + ": bad allow array";
+        return false;
+      }
+    } else {
+      error = "line " + std::to_string(lineno) + ": key outside any section";
+      return false;
+    }
+  }
+  for (const Layer& layer : config.layers) {
+    if (layer.name.empty() || layer.paths.empty()) {
+      error = "every [[layer]] needs a name and a non-empty paths array";
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Source stripping
+
+bool SourceFile::is_header() const {
+  return path.size() > 4 ? (path.ends_with(".hpp") || path.ends_with(".h"))
+                         : path.ends_with(".h");
+}
+
+SourceFile strip_source(std::string path, const std::string& text) {
+  SourceFile out;
+  out.path = std::move(path);
+
+  // Capture quoted includes from the raw text first; stripping blanks string
+  // contents, which is exactly where the include target lives.
+  {
+    std::istringstream in(text);
+    std::string raw;
+    std::size_t lineno = 0;
+    bool in_block_comment = false;
+    while (std::getline(in, raw)) {
+      ++lineno;
+      if (in_block_comment) {
+        const std::size_t close = raw.find("*/");
+        if (close == std::string::npos) continue;
+        in_block_comment = false;
+        raw = raw.substr(close + 2);
+      }
+      const std::string line = trim(raw);
+      if (starts_with(line, "#include")) {
+        const std::size_t open = line.find('"');
+        if (open != std::string::npos) {
+          const std::size_t close = line.find('"', open + 1);
+          if (close != std::string::npos)
+            out.includes.emplace_back(
+                lineno, line.substr(open + 1, close - open - 1));
+        }
+      }
+      // Track block comments that open on this line and stay open.
+      std::size_t pos = 0;
+      while ((pos = raw.find("/*", pos)) != std::string::npos) {
+        const std::size_t line_comment = raw.find("//");
+        if (line_comment != std::string::npos && line_comment < pos) break;
+        const std::size_t close = raw.find("*/", pos + 2);
+        if (close == std::string::npos) {
+          in_block_comment = true;
+          break;
+        }
+        pos = close + 2;
+      }
+    }
+  }
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  } state = State::kCode;
+  std::string code_line;
+  std::string comment_line;
+  std::string raw_delim;  // for raw strings: the `)delim"` terminator
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i <= n; ++i) {
+    const char c = i < n ? text[i] : '\n';
+    if (c == '\n') {
+      out.code.push_back(code_line);
+      out.comments.push_back(comment_line);
+      code_line.clear();
+      comment_line.clear();
+      if (state == State::kLineComment) state = State::kCode;
+      if (i == n) break;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+                   (i == 0 || !is_ident_char(text[i - 1]))) {
+          std::size_t j = i + 2;
+          while (j < n && text[j] != '(' && text[j] != '\n') ++j;
+          raw_delim = ")" + text.substr(i + 2, j - i - 2) + "\"";
+          code_line += "\"\"";
+          state = State::kRawString;
+          i = j;  // position at '('
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kChar;
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+struct Driver::Decls {
+  /// Names whose declared type (or return type) is an unordered container.
+  std::set<std::string> unordered;
+};
+
+Driver::Driver(Config config) : config_(std::move(config)) {}
+
+void Driver::add_file(const std::string& path, const std::string& content) {
+  files_.emplace(path, strip_source(path, content));
+  known_paths_.insert(path);
+}
+
+void Driver::add_known_path(const std::string& path) {
+  known_paths_.insert(path);
+}
+
+bool Driver::allowed(const std::string& rule, const std::string& path) const {
+  const auto it = config_.allow.find(rule);
+  if (it == config_.allow.end()) return false;
+  return std::any_of(
+      it->second.begin(), it->second.end(),
+      [&path](const std::string& prefix) { return starts_with(path, prefix.c_str()); });
+}
+
+int Driver::layer_of(const std::string& path) const {
+  int best = -1;
+  std::size_t best_len = 0;
+  for (std::size_t li = 0; li < config_.layers.size(); ++li) {
+    for (const std::string& prefix : config_.layers[li].paths) {
+      if (prefix.size() >= best_len && starts_with(path, prefix.c_str())) {
+        best = static_cast<int>(li);
+        best_len = prefix.size();
+      }
+    }
+  }
+  return best;
+}
+
+std::string Driver::resolve_include(const std::string& includer,
+                                    const std::string& target) const {
+  const std::string dir = dirname_of(includer);
+  const std::string candidates[] = {target, "src/" + target,
+                                    dir.empty() ? target : dir + "/" + target};
+  for (const std::string& candidate : candidates) {
+    if (known_paths_.count(candidate) != 0) return candidate;
+  }
+  return {};
+}
+
+namespace {
+
+/// Collects names declared (or returned) as unordered containers, plus
+/// aliases of unordered types, from one file's token stream. Also collects
+/// names the file itself declares with an ORDERED std container: those
+/// shadow same-named unordered declarations inherited from included headers
+/// (a local `std::vector<...> blocked` is not the header's
+/// `unordered_set<...>& blocked` parameter).
+void collect_unordered_decls(const std::vector<Tok>& toks,
+                             std::set<std::string>& names,
+                             std::set<std::string>& ordered_names) {
+  static const std::set<std::string> kOrderedContainers = {
+      "vector", "array", "deque", "list",     "set",
+      "map",    "span",  "multiset", "multimap"};
+  std::set<std::string> aliases;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind == Tok::Kind::kIdent &&
+        kOrderedContainers.count(toks[i].text) != 0 &&
+        tok_is(toks, i + 1, "<") && i >= 2 && toks[i - 1].text == "::" &&
+        toks[i - 2].text == "std") {
+      std::size_t j = skip_angles(toks, i + 1);
+      while (j < toks.size() &&
+             (toks[j].text == "&" || toks[j].text == "*" ||
+              toks[j].text == "const"))
+        ++j;
+      if (j < toks.size() && toks[j].kind == Tok::Kind::kIdent &&
+          cpp_keywords().count(toks[j].text) == 0) {
+        ordered_names.insert(toks[j].text);
+      }
+      continue;
+    }
+    const bool is_unordered_token = toks[i].kind == Tok::Kind::kIdent &&
+                                    (toks[i].text == "unordered_map" ||
+                                     toks[i].text == "unordered_set" ||
+                                     toks[i].text == "unordered_multimap" ||
+                                     toks[i].text == "unordered_multiset");
+    if (!is_unordered_token || !tok_is(toks, i + 1, "<")) continue;
+    // `using Alias = std::unordered_map<...>`
+    if (i >= 3 && toks[i - 1].text == "::" && toks[i - 2].text == "std" &&
+        toks[i - 3].text == "=" && i >= 5 && toks[i - 5].text == "using") {
+      aliases.insert(toks[i - 4].text);
+    }
+    std::size_t j = skip_angles(toks, i + 1);
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const"))
+      ++j;
+    if (j < toks.size() && toks[j].kind == Tok::Kind::kIdent &&
+        cpp_keywords().count(toks[j].text) == 0) {
+      names.insert(toks[j].text);
+    }
+  }
+  if (aliases.empty()) return;
+  // Second pass: `Alias name` declarations.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == Tok::Kind::kIdent && aliases.count(toks[i].text) != 0 &&
+        toks[i + 1].kind == Tok::Kind::kIdent &&
+        cpp_keywords().count(toks[i + 1].text) == 0 &&
+        (i == 0 || toks[i - 1].text != "::")) {
+      names.insert(toks[i + 1].text);
+    }
+  }
+}
+
+}  // namespace
+
+void Driver::check_determinism(const SourceFile& file, const Decls& decls,
+                               std::vector<Finding>& out) const {
+  const std::vector<Tok> toks = tokenize(file.code);
+
+  static const std::set<std::string> kGlobalRngCalls = {
+      "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48", "srand48"};
+  static const std::set<std::string> kClockCalls = {
+      "time",          "clock",      "gettimeofday", "clock_gettime",
+      "timespec_get",  "localtime",  "localtime_r",  "gmtime",
+      "gmtime_r",      "ftime"};
+  static const std::set<std::string> kTimeHeaders = {"chrono", "ctime",
+                                                     "time.h", "sys/time.h"};
+  static const std::set<std::string> kStampMacros = {"__DATE__", "__TIME__",
+                                                     "__TIMESTAMP__"};
+
+  // `#include <chrono>` and friends count as RNL003: pulling in a clock is
+  // the first step of using one, and the allowlist covers the legit sites.
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string line = trim(file.code[li]);
+    if (!starts_with(line, "#include")) continue;
+    const std::size_t open = line.find('<');
+    const std::size_t close = line.find('>');
+    if (open == std::string::npos || close == std::string::npos) continue;
+    const std::string header = line.substr(open + 1, close - open - 1);
+    if (kTimeHeaders.count(header) != 0) {
+      out.push_back({file.path, li + 1, "RNL003",
+                     "#include <" + header +
+                         "> pulls in wall-clock time; experiment results "
+                         "must be pure in (seed, trial index)"});
+    }
+  }
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Tok& tok = toks[i];
+    if (tok.kind != Tok::Kind::kIdent) continue;
+    const bool member_access =
+        i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    if (tok.text == "random_device") {
+      out.push_back({file.path, tok.line, "RNL001",
+                     "std::random_device is a nondeterministic seed source; "
+                     "derive seeds from support::Rng::split instead"});
+    } else if (!member_access && kGlobalRngCalls.count(tok.text) != 0 &&
+               tok_is(toks, i + 1, "(")) {
+      out.push_back({file.path, tok.line, "RNL002",
+                     tok.text +
+                         "() uses hidden global RNG state; use the "
+                         "support::Rng passed down from the trial seed"});
+    } else if (tok.text == "chrono") {
+      out.push_back({file.path, tok.line, "RNL003",
+                     "std::chrono reads the wall clock; results must not "
+                     "depend on time (allowlist covers timing metadata)"});
+    } else if (!member_access && kClockCalls.count(tok.text) != 0 &&
+               tok_is(toks, i + 1, "(")) {
+      out.push_back({file.path, tok.line, "RNL003",
+                     tok.text + "() reads the wall clock; results must be "
+                                "pure in (seed, trial index)"});
+    } else if (kStampMacros.count(tok.text) != 0) {
+      out.push_back({file.path, tok.line, "RNL004",
+                     tok.text + " bakes the build time into the binary; "
+                                "outputs would differ across rebuilds"});
+    }
+  }
+
+  // RNL006: pointer values as keys or sort inputs.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::Kind::kIdent) continue;
+    if ((toks[i].text == "hash" || toks[i].text == "less" ||
+         toks[i].text == "greater") &&
+        tok_is(toks, i + 1, "<")) {
+      const std::size_t end = skip_angles(toks, i + 1);
+      if (end >= 2 && end <= toks.size() && toks[end - 2].text == "*") {
+        out.push_back({file.path, toks[i].line, "RNL006",
+                       "std::" + toks[i].text +
+                           "<T*> keys on pointer values, which vary run to "
+                           "run; key on a stable id instead"});
+      }
+    }
+    if ((toks[i].text == "reinterpret_cast" || toks[i].text == "bit_cast") &&
+        tok_is(toks, i + 1, "<")) {
+      const std::size_t end = skip_angles(toks, i + 1);
+      for (std::size_t j = i + 2; j + 1 < end; ++j) {
+        if (toks[j].text == "uintptr_t" || toks[j].text == "intptr_t") {
+          out.push_back({file.path, toks[i].line, "RNL006",
+                         "casting a pointer to an integer leaks the "
+                         "allocator's addresses into values; use a stable id"});
+          break;
+        }
+      }
+    }
+  }
+
+  // RNL005: iteration over unordered containers.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "for" || !tok_is(toks, i + 1, "(")) continue;
+    int depth = 0;
+    std::size_t close = i + 1;
+    for (; close < toks.size(); ++close) {
+      if (toks[close].text == "(") ++depth;
+      if (toks[close].text == ")" && --depth == 0) break;
+    }
+    if (close >= toks.size()) continue;
+    // Range-for: top-level `:` between the parens.
+    std::size_t colon = 0;
+    int inner = 0;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (toks[j].text == "(" || toks[j].text == "[" || toks[j].text == "{")
+        ++inner;
+      if (toks[j].text == ")" || toks[j].text == "]" || toks[j].text == "}")
+        --inner;
+      if (inner == 0 && toks[j].text == ":") {
+        colon = j;
+        break;
+      }
+    }
+    std::string culprit;
+    if (colon != 0) {
+      // Identify the ranged expression's final name: `x`, `a.b`, `f()`,
+      // `a.f()` all reduce to the identifier before the optional call parens.
+      std::size_t last = close - 1;
+      if (toks[last].text == ")") {
+        int call = 0;
+        while (last > colon) {
+          if (toks[last].text == ")") ++call;
+          if (toks[last].text == "(" && --call == 0) break;
+          --last;
+        }
+        --last;  // token before '('
+      }
+      if (last > colon && toks[last].kind == Tok::Kind::kIdent &&
+          decls.unordered.count(toks[last].text) != 0) {
+        culprit = toks[last].text;
+      }
+      for (std::size_t j = colon + 1; j < close && culprit.empty(); ++j) {
+        if (toks[j].text == "unordered_map" ||
+            toks[j].text == "unordered_set") {
+          culprit = toks[j].text + " temporary";
+        }
+      }
+    } else {
+      // Iterator loop: `for (auto it = x.begin(); ...`.
+      for (std::size_t j = i + 2; j + 2 < close; ++j) {
+        if (toks[j].text == ";") break;
+        if ((toks[j + 2].text == "begin" || toks[j + 2].text == "cbegin") &&
+            toks[j + 1].text == "." && toks[j].kind == Tok::Kind::kIdent &&
+            decls.unordered.count(toks[j].text) != 0) {
+          culprit = toks[j].text;
+          break;
+        }
+      }
+    }
+    if (!culprit.empty()) {
+      out.push_back(
+          {file.path, toks[i].line, "RNL005",
+           "iterating unordered container '" + culprit +
+               "' — bucket order is implementation-defined and can leak "
+               "into results; extract keys and sort, or justify with a "
+               "suppression"});
+    }
+  }
+}
+
+void Driver::check_layering(const SourceFile& file,
+                            std::vector<Finding>& out) const {
+  const int my_layer = layer_of(file.path);
+  if (my_layer < 0) {
+    out.push_back({file.path, 1, "RNL102",
+                   "file is not covered by the layer map "
+                   "(tools/lint/layers.toml); add it to a layer"});
+    return;
+  }
+  for (const auto& [line, target] : file.includes) {
+    const std::string resolved = resolve_include(file.path, target);
+    if (resolved.empty()) {
+      out.push_back({file.path, line, "RNL102",
+                     "quoted include \"" + target +
+                         "\" does not resolve to a first-party file; use "
+                         "<...> for system headers"});
+      continue;
+    }
+    const int inc_layer = layer_of(resolved);
+    if (inc_layer < 0) continue;  // reported on the file itself
+    if (inc_layer > my_layer) {
+      out.push_back(
+          {file.path, line, "RNL101",
+           "include of \"" + target + "\" reaches up the layer DAG (" +
+               config_.layers[static_cast<std::size_t>(my_layer)].name +
+               " -> " +
+               config_.layers[static_cast<std::size_t>(inc_layer)].name +
+               "); only same-or-lower layers may be included"});
+    }
+  }
+}
+
+void Driver::check_hygiene(const SourceFile& file,
+                           std::vector<Finding>& out) const {
+  if (file.is_header()) {
+    bool has_pragma = false;
+    for (const std::string& line : file.code) {
+      if (trim(line) == "#pragma once") {
+        has_pragma = true;
+        break;
+      }
+    }
+    if (!has_pragma) {
+      out.push_back({file.path, 1, "RNL201",
+                     "header is missing #pragma once"});
+    }
+    const std::vector<Tok> toks = tokenize(file.code);
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].text == "using" && toks[i + 1].text == "namespace") {
+        out.push_back({file.path, toks[i].line, "RNL202",
+                       "using namespace in a header leaks into every "
+                       "includer; qualify names instead"});
+      }
+    }
+  }
+  for (std::size_t li = 0; li < file.comments.size(); ++li) {
+    const std::string& comment = file.comments[li];
+    std::size_t pos = comment.find("NOLINT");
+    if (pos == std::string::npos) continue;
+    const std::string rest = comment.substr(pos);
+    bool ok = false;
+    if (starts_with(rest, "NOLINTEND")) {
+      ok = true;  // closing marker inherits the BEGIN's justification
+    } else {
+      const std::size_t open = rest.find('(');
+      const std::size_t close = rest.find(')');
+      if (open != std::string::npos && close != std::string::npos &&
+          close > open + 1) {
+        const std::string reason = trim(rest.substr(close + 1));
+        ok = !reason.empty();
+      }
+    }
+    if (!ok) {
+      out.push_back({file.path, li + 1, "RNL203",
+                     "NOLINT needs a rule name and a reason, e.g. "
+                     "// NOLINT(check-name): why it is safe here"});
+    }
+  }
+}
+
+Driver::Result Driver::run() {
+  Result result;
+
+  // Per-file unordered-name tables, then merge along the include graph so a
+  // .cpp sees the members declared in the headers it pulls in. A name the
+  // file itself declares with an ordered container shadows an inherited
+  // unordered declaration of the same name.
+  std::map<std::string, std::set<std::string>> own_unordered;
+  std::map<std::string, std::set<std::string>> own_ordered;
+  for (const auto& [path, file] : files_) {
+    collect_unordered_decls(tokenize(file.code), own_unordered[path],
+                            own_ordered[path]);
+  }
+  std::map<std::string, Decls> merged;
+  for (const auto& [path, file] : files_) {
+    std::set<std::string> visited;
+    std::vector<std::string> stack = {path};
+    Decls decls;
+    while (!stack.empty()) {
+      const std::string current = stack.back();
+      stack.pop_back();
+      if (!visited.insert(current).second) continue;
+      const auto decl_it = own_unordered.find(current);
+      if (decl_it != own_unordered.end()) {
+        decls.unordered.insert(decl_it->second.begin(), decl_it->second.end());
+      }
+      const auto file_it = files_.find(current);
+      if (file_it == files_.end()) continue;
+      for (const auto& [line, target] : file_it->second.includes) {
+        const std::string resolved = resolve_include(current, target);
+        if (!resolved.empty()) stack.push_back(resolved);
+      }
+    }
+    for (const std::string& name : own_ordered.at(path)) {
+      if (own_unordered.at(path).count(name) == 0) decls.unordered.erase(name);
+    }
+    merged.emplace(path, std::move(decls));
+  }
+
+  for (const auto& [path, file] : files_) {
+    ++result.files_checked;
+    std::vector<Finding> raw;
+    check_determinism(file, merged.at(path), raw);
+    check_layering(file, raw);
+    check_hygiene(file, raw);
+
+    const LineSuppressions suppressions = collect_suppressions(file);
+    for (const std::size_t line : suppressions.malformed) {
+      raw.push_back({path, line, "RNL204",
+                     "malformed suppression; expected "
+                     "`reconfnet-lint: allow(RNLxxx) reason`"});
+    }
+    for (Finding& finding : raw) {
+      if (allowed(finding.rule, path)) continue;
+      const auto it = suppressions.allow.find(finding.line);
+      if (finding.rule != "RNL204" && it != suppressions.allow.end() &&
+          it->second.count(finding.rule) != 0) {
+        ++result.suppressed;
+        continue;
+      }
+      result.findings.push_back(std::move(finding));
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  // The include-line scan and the token scan can both flag the same site
+  // (e.g. `#include <chrono>`); report each (file, line, rule) once.
+  result.findings.erase(
+      std::unique(result.findings.begin(), result.findings.end(),
+                  [](const Finding& a, const Finding& b) {
+                    return std::tie(a.file, a.line, a.rule) ==
+                           std::tie(b.file, b.line, b.rule);
+                  }),
+      result.findings.end());
+  return result;
+}
+
+}  // namespace reconfnet::lint

@@ -1,0 +1,204 @@
+// reconfnet_lint CLI. See lint.hpp for the rule catalogue.
+//
+// Usage:
+//   reconfnet_lint [--root DIR] [--config FILE] [--compdb FILE] [file...]
+//
+//   --root DIR     repository root (default: current directory). All paths
+//                  are interpreted and reported relative to it.
+//   --config FILE  layer map + allowlist (default: ROOT/tools/lint/layers.toml)
+//   --compdb FILE  compile_commands.json; its "file" entries seed the
+//                  translation-unit list (headers are discovered by walking
+//                  the lint roots either way)
+//   file...        lint exactly these files instead of the whole tree
+//                  (fixture files under tests/lint_fixtures/ are only
+//                  reachable this way)
+//
+// Exit status: 0 clean, 1 findings, 2 usage/configuration error.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kLintRoots[] = {"src", "bench", "tools", "examples",
+                                      "tests"};
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+bool lintable_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+std::string repo_relative(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path canonical = fs::weakly_canonical(path, ec);
+  const fs::path canonical_root = fs::weakly_canonical(root, ec);
+  const fs::path rel = canonical.lexically_relative(canonical_root);
+  return rel.generic_string();
+}
+
+/// Pulls the "file" values out of compile_commands.json. The format is
+/// stable enough (an array of objects with quoted keys) that a targeted
+/// scan beats dragging in a JSON parser for a bootstrap tool.
+std::vector<std::string> compdb_files(const std::string& text) {
+  std::vector<std::string> files;
+  std::size_t pos = 0;
+  while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
+    pos += 6;
+    const std::size_t colon = text.find(':', pos);
+    if (colon == std::string::npos) break;
+    const std::size_t open = text.find('"', colon);
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) break;
+    files.push_back(text.substr(open + 1, close - open - 1));
+    pos = close + 1;
+  }
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path config_path;
+  fs::path compdb_path;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "reconfnet_lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = next("--root");
+    } else if (arg == "--config") {
+      config_path = next("--config");
+    } else if (arg == "--compdb") {
+      compdb_path = next("--compdb");
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: reconfnet_lint [--root DIR] [--config FILE] "
+                   "[--compdb FILE] [file...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "reconfnet_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+  if (config_path.empty()) config_path = root / "tools/lint/layers.toml";
+
+  std::string config_text;
+  if (!read_file(config_path, config_text)) {
+    std::cerr << "reconfnet_lint: cannot read config " << config_path << "\n";
+    return 2;
+  }
+  reconfnet::lint::Config config;
+  std::string error;
+  if (!reconfnet::lint::parse_config(config_text, config, error)) {
+    std::cerr << "reconfnet_lint: bad config: " << error << "\n";
+    return 2;
+  }
+
+  // Assemble the file set: compile_commands.json names the translation
+  // units; a walk of the lint roots picks up headers and any source not yet
+  // attached to a target. Fixture files carry deliberate violations and are
+  // excluded unless named explicitly.
+  std::set<std::string> paths;
+  if (explicit_files.empty()) {
+    for (const char* dir : kLintRoots) {
+      const fs::path base = root / dir;
+      if (!fs::exists(base)) continue;
+      for (auto it = fs::recursive_directory_iterator(base);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file() || !lintable_extension(it->path()))
+          continue;
+        const std::string rel = repo_relative(it->path(), root);
+        if (rel.find("lint_fixtures") != std::string::npos) continue;
+        paths.insert(rel);
+      }
+    }
+    if (!compdb_path.empty()) {
+      std::string compdb_text;
+      if (!read_file(compdb_path, compdb_text)) {
+        std::cerr << "reconfnet_lint: cannot read compdb " << compdb_path
+                  << "\n";
+        return 2;
+      }
+      for (const std::string& file : compdb_files(compdb_text)) {
+        const std::string rel = repo_relative(file, root);
+        if (rel.rfind("..", 0) == 0) continue;  // outside the repo
+        if (rel.find("lint_fixtures") != std::string::npos) continue;
+        if (fs::exists(root / rel)) paths.insert(rel);
+      }
+    }
+  } else {
+    for (const std::string& file : explicit_files) {
+      const fs::path p = fs::path(file).is_absolute() ? fs::path(file)
+                                                      : root / file;
+      if (!fs::exists(p)) {
+        std::cerr << "reconfnet_lint: no such file: " << file << "\n";
+        return 2;
+      }
+      paths.insert(repo_relative(p, root));
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "reconfnet_lint: no input files\n";
+    return 2;
+  }
+
+  reconfnet::lint::Driver driver(std::move(config));
+  if (!explicit_files.empty()) {
+    // Partial runs still need the full path universe so quoted includes of
+    // unchecked files resolve (and layer-check) instead of looking foreign.
+    for (const char* dir : kLintRoots) {
+      const fs::path base = root / dir;
+      if (!fs::exists(base)) continue;
+      for (auto it = fs::recursive_directory_iterator(base);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable_extension(it->path()))
+          driver.add_known_path(repo_relative(it->path(), root));
+      }
+    }
+  }
+  for (const std::string& rel : paths) {
+    std::string content;
+    if (!read_file(root / rel, content)) {
+      std::cerr << "reconfnet_lint: cannot read " << rel << "\n";
+      return 2;
+    }
+    driver.add_file(rel, content);
+  }
+
+  const reconfnet::lint::Driver::Result result = driver.run();
+  for (const reconfnet::lint::Finding& finding : result.findings) {
+    std::cout << finding.file << ":" << finding.line << ": " << finding.rule
+              << " " << finding.message << "\n";
+  }
+  std::cerr << "reconfnet_lint: " << result.files_checked << " files, "
+            << result.findings.size() << " findings (" << result.suppressed
+            << " suppressed)\n";
+  return result.findings.empty() ? 0 : 1;
+}

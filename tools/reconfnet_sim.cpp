@@ -20,6 +20,7 @@
 // series) land in a BENCH_sim_<command>.json results file. Output is
 // independent of --jobs. Exit code 0 iff every trial met its guarantee.
 #include <algorithm>
+// reconfnet-lint: allow(RNL003) wall-clock timing metadata for BENCH json
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -374,6 +375,7 @@ Outcome run_scenario(const std::string& command, const Args& args,
 /// byte-identical for any --jobs value.
 int run_multi(const std::string& command, const Args& args,
               std::uint64_t master_seed, std::size_t reps, std::size_t jobs) {
+  // reconfnet-lint: allow(RNL003) wall-clock feeds the timing block only
   const auto start = std::chrono::steady_clock::now();
   runtime::TrialRunner runner(master_seed, jobs);
   const auto outcomes =
@@ -418,7 +420,9 @@ int run_multi(const std::string& command, const Args& args,
                    support::Table::num(static_cast<std::uint64_t>(reps)) +
                    " trials failed their guarantee");
   results.set_exit_code(exit_code);
+  // reconfnet-lint: allow(RNL003) wall-clock feeds the timing block only
   const std::chrono::duration<double> wall =
+      // reconfnet-lint: allow(RNL003) wall-clock feeds the timing block only
       std::chrono::steady_clock::now() - start;
   results.set_timing(jobs, wall.count());
   if (args.has("json")) {

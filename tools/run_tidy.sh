@@ -66,7 +66,34 @@ fi
 
 declare -a files
 if [[ $# -gt 0 ]]; then
-  files=("$@")
+  # Explicit file arguments. Headers have no compile command, so a header
+  # argument is mapped to every translation unit that includes it; the
+  # HeaderFilterRegex in .clang-tidy then surfaces the header's own
+  # diagnostics from those TUs.
+  declare -a expanded=()
+  for file in "$@"; do
+    case "${file}" in
+      *.hpp|*.h)
+        rel="${file#./}"
+        rel="${rel#src/}"
+        mapfile -t tus < <(grep -rlF --include='*.cpp' \
+          "\"${rel}\"" src bench tools examples | sort)
+        if [[ ${#tus[@]} -eq 0 ]]; then
+          echo "run_tidy: no TU includes ${file}; nothing to check for it" >&2
+        else
+          expanded+=("${tus[@]}")
+        fi
+        ;;
+      *)
+        expanded+=("${file}")
+        ;;
+    esac
+  done
+  if [[ ${#expanded[@]} -eq 0 ]]; then
+    echo "run_tidy: no input files" >&2
+    exit 2
+  fi
+  mapfile -t files < <(printf '%s\n' "${expanded[@]}" | sort -u)
 else
   # Lint every first-party translation unit. Tests are excluded: gtest's
   # TEST() macros expand to identifiers the naming check cannot see through.
@@ -82,6 +109,13 @@ echo "run_tidy: ${tidy_bin} over ${#files[@]} files (-p ${build_dir}, ${jobs} jo
 
 # xargs propagates a non-zero status (123) if any clang-tidy invocation finds
 # a diagnostic; --warnings-as-errors promotes every warning to that status.
+log="$(mktemp)"
+trap 'rm -f "${log}"' EXIT
+status=0
 printf '%s\0' "${files[@]}" | xargs -0 -n 4 -P "${jobs}" \
-  "${tidy_bin}" -p "${build_dir}" --quiet --warnings-as-errors='*'
-echo "run_tidy: clean" >&2
+  "${tidy_bin}" -p "${build_dir}" --quiet --warnings-as-errors='*' \
+  > "${log}" 2>&1 || status=$?
+cat "${log}"
+diagnostics="$(grep -cE '(warning|error):' "${log}")" || diagnostics=0
+echo "run_tidy: ${#files[@]} files checked, ${diagnostics} diagnostics" >&2
+exit "${status}"
