@@ -49,11 +49,17 @@ struct WireMsg {
     kNeighborGroup,
   };
   Kind kind = Kind::kStateBroadcast;
+  // reconfnet-protocheck: allow(RNP307) shared immutable snapshot stands in
+  // for a serialized state of state_bits(...) bits, charged at every send
   SnapshotPtr state;                   // candidate / broadcast
+  // reconfnet-protocheck: allow(RNP307) shared immutable outbox models the
+  // forwarded supernode messages, charged as outbox size * super_bits
   OutboxPtr outbox;                    // candidate
   SuperMsg super{};                    // super
   sim::NodeId assigned = sim::kNoNode; // assign
   std::uint64_t supernode = 0;         // assign / new-group / neighbor-group
+  // reconfnet-protocheck: allow(RNP307) shared immutable member list models
+  // a group_bits(size)-bit membership broadcast, charged at every send
   std::shared_ptr<const std::vector<sim::NodeId>> group;  // new/neighbor
 };
 

@@ -8,6 +8,7 @@
 // also where communication work is metered.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -79,8 +80,11 @@ class Bus {
   /// blocked set for the round about to begin.
   void step(const BlockedSet& blocked_sending,
             const BlockedSet& blocked_delivery) {
-    // reconfnet-lint: allow(RNL005) clears every inbox; order-independent
-    for (auto& inbox : inboxes_) inbox.second.clear();
+    // Deterministic inbox turnover: only the inboxes that received a
+    // delivery last round hold messages, and `touched_` lists exactly those,
+    // sorted — no iteration over the unordered map.
+    for (const NodeId node : touched_) inboxes_[node].clear();
+    touched_.clear();
     for (auto& [envelope, bits] : outbox_) {
       const bool delivered = !blocked_sending.contains(envelope.from) &&
                              !blocked_sending.contains(envelope.to) &&
@@ -92,11 +96,14 @@ class Bus {
               blocked_delivery.ids()));
         }
         if (meter_ != nullptr) meter_->note_received(envelope.to, bits);
-        inboxes_[envelope.to].push_back(std::move(envelope));
+        auto& inbox = inboxes_[envelope.to];
+        if (inbox.empty()) touched_.push_back(envelope.to);
+        inbox.push_back(std::move(envelope));
       } else if (meter_ != nullptr) {
         meter_->note_dropped();
       }
     }
+    std::sort(touched_.begin(), touched_.end());
     outbox_.clear();
     if (meter_ != nullptr) meter_->finish_round(round_);
     ++round_;
@@ -124,6 +131,9 @@ class Bus {
  private:
   std::vector<std::pair<Envelope<Msg>, std::uint64_t>> outbox_;
   std::unordered_map<NodeId, std::vector<Envelope<Msg>>> inboxes_;
+  /// Nodes whose inbox received a delivery in the round that just ended,
+  /// sorted by id; the next step() clears exactly these.
+  std::vector<NodeId> touched_;
   WorkMeter* meter_;
   Round round_ = 0;
 };

@@ -1,0 +1,36 @@
+// Clean fixture: the full receive -> compute -> send -> step round shape,
+// two functions re-declaring the same bus variable name (the extractor must
+// close the first binding), and a step-alias lambda wrapping bus.step (the
+// alias's call sites count as step events; its body is excluded from the
+// linear scan). Expected: zero findings.
+namespace reconfnet::fx {
+
+struct PingMsg {
+  int cycle = 0;
+  unsigned long long id = 0;
+};
+
+void first_phase() {
+  sim::Bus<PingMsg> bus(&meter);
+  for (int v = 0; v < 4; ++v) {
+    bus.send(v, v + 1, PingMsg{0, 0}, kPingBits);
+  }
+  bus.step();
+  for (int v = 0; v < 4; ++v) {
+    for (const auto& envelope : bus.inbox(v)) {
+      consume(envelope);
+    }
+  }
+}
+
+void second_phase() {
+  sim::Bus<PingMsg> bus(&meter);
+  const auto step_bus = [&]() { bus.step(none, none); };
+  bus.send(1, 2, PingMsg{1, 1}, kPingBits);
+  step_bus();
+  for (const auto& envelope : bus.inbox(2)) {
+    consume(envelope);
+  }
+}
+
+}  // namespace reconfnet::fx

@@ -1,0 +1,17 @@
+// RNP301: a bus whose message type has no [[message]] entry in the spec.
+namespace reconfnet::fx {
+
+struct StrayMsg {
+  int value = 0;
+};
+
+void run() {
+  sim::Bus<StrayMsg> bus(&meter);
+  bus.send(1, 2, StrayMsg{7}, kStrayBits);
+  bus.step();
+  for (const auto& envelope : bus.inbox(2)) {
+    consume(envelope);
+  }
+}
+
+}  // namespace reconfnet::fx

@@ -1,0 +1,9 @@
+// RNP302/RNP303: the spec declares OrphanMsg as this file's message, but the
+// struct is never sent and never consumed — a dead wire format.
+namespace reconfnet::fx {
+
+struct OrphanMsg {
+  int value = 0;
+};
+
+}  // namespace reconfnet::fx

@@ -1,0 +1,18 @@
+// RNP304/RNP305: this file sends and consumes RestrictedMsg, but the spec
+// lists a different file as the only legal sender and receiver.
+namespace reconfnet::fx {
+
+struct RestrictedMsg {
+  int value = 0;
+};
+
+void run() {
+  sim::Bus<RestrictedMsg> bus(&meter);
+  bus.send(1, 2, RestrictedMsg{7}, kRestrictedBits);
+  bus.step();
+  for (const auto& envelope : bus.inbox(2)) {
+    consume(envelope);
+  }
+}
+
+}  // namespace reconfnet::fx

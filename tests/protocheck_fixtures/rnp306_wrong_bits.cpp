@@ -1,0 +1,19 @@
+// RNP306: the second send's bits expression silently diverges from the
+// spec's formula (the classic accounting-drift bug this rule exists for).
+namespace reconfnet::fx {
+
+struct MeteredMsg {
+  int value = 0;
+};
+
+void run() {
+  sim::Bus<MeteredMsg> bus(&meter);
+  bus.send(1, 2, MeteredMsg{1}, kMeteredBits);
+  bus.send(2, 3, MeteredMsg{2}, kMeteredBits + 1);
+  bus.step();
+  for (const auto& envelope : bus.inbox(2)) {
+    consume(envelope);
+  }
+}
+
+}  // namespace reconfnet::fx

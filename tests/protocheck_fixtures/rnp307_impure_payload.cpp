@@ -1,0 +1,31 @@
+// RNP307: one wire-unsafe member per flavour — raw pointer, smart pointer,
+// floating point, unordered container, pointer-hiding alias, and a clean-
+// looking member whose struct type transitively holds a double.
+namespace reconfnet::fx {
+
+struct Nested {
+  double weight = 0;
+};
+
+using HandlePtr = std::shared_ptr<int>;
+
+struct BadMsg {
+  int* raw = nullptr;
+  std::shared_ptr<int> shared;
+  double value = 0;
+  std::unordered_map<int, int> table;
+  HandlePtr handle;
+  Nested nested;
+  int fine = 0;
+};
+
+void run() {
+  sim::Bus<BadMsg> bus(&meter);
+  bus.send(1, 2, BadMsg{}, kBadBits);
+  bus.step();
+  for (const auto& envelope : bus.inbox(2)) {
+    consume(envelope);
+  }
+}
+
+}  // namespace reconfnet::fx

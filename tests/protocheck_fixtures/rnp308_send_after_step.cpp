@@ -1,0 +1,32 @@
+// RNP308: phase-order violations. `late` sends after its final step (the
+// message can never be delivered); `never` is never stepped at all. The
+// step-alias variant must stay clean: its last event is a step_late() call.
+namespace reconfnet::fx {
+
+struct LateMsg {
+  int value = 0;
+};
+
+void late_send() {
+  sim::Bus<LateMsg> late(&meter);
+  late.send(1, 2, LateMsg{1}, kLateBits);
+  late.step();
+  for (const auto& envelope : late.inbox(2)) {
+    consume(envelope);
+  }
+  late.send(2, 3, LateMsg{2}, kLateBits);
+}
+
+void never_stepped() {
+  sim::Bus<LateMsg> never(&meter);
+  never.send(1, 2, LateMsg{3}, kLateBits);
+}
+
+void alias_is_clean() {
+  sim::Bus<LateMsg> late(&meter);
+  const auto step_late = [&]() { late.step(none, none); };
+  late.send(1, 2, LateMsg{4}, kLateBits);
+  step_late();
+}
+
+}  // namespace reconfnet::fx

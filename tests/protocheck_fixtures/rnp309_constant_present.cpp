@@ -1,0 +1,7 @@
+// RNP309 fixture: holds one pinned constant. Tests point a matching spec at
+// it (clean) and a drifted spec at it (finding).
+namespace reconfnet::fx {
+
+const unsigned long long kPinnedBits = 64 + 16;
+
+}  // namespace reconfnet::fx

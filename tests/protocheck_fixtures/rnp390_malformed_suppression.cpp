@@ -1,0 +1,18 @@
+// RNP390: a suppression without a reason is malformed, and the finding it
+// tried to hide still fires.
+namespace reconfnet::fx {
+
+struct MalMsg {
+  double value = 0;  // reconfnet-protocheck: allow(RNP307)
+};
+
+void run() {
+  sim::Bus<MalMsg> bus(&meter);
+  bus.send(1, 2, MalMsg{}, kMalBits);
+  bus.step();
+  for (const auto& envelope : bus.inbox(2)) {
+    consume(envelope);
+  }
+}
+
+}  // namespace reconfnet::fx

@@ -1,0 +1,21 @@
+// A well-formed suppression with a reason: the RNP307 finding is counted as
+// suppressed, not reported. Both placements (same line, line above) work.
+namespace reconfnet::fx {
+
+struct SupMsg {
+  // reconfnet-protocheck: allow(RNP307) fixture: deliberate float, the test
+  // pins that a reasoned suppression silences the rule
+  double value = 0;
+  float ratio = 0;  // reconfnet-protocheck: allow(RNP307) same-line form
+};
+
+void run() {
+  sim::Bus<SupMsg> bus(&meter);
+  bus.send(1, 2, SupMsg{}, kSupBits);
+  bus.step();
+  for (const auto& envelope : bus.inbox(2)) {
+    consume(envelope);
+  }
+}
+
+}  // namespace reconfnet::fx

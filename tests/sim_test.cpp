@@ -84,6 +84,67 @@ TEST(Bus, ReceiverBlockedInDeliveryRoundDropsMessage) {
   EXPECT_TRUE(bus.inbox(2).empty());
 }
 
+TEST(Bus, SenderBlockedOnlyInDeliveryRoundStillDelivers) {
+  // The blocking rule constrains the sender in the sending round only; a
+  // sender that goes down in round i+1 has already handed the message to the
+  // bus in round i, so it MUST arrive.
+  Bus<int> bus;
+  BlockedSet delivery;
+  delivery.insert(1);  // the sender, blocked in the delivery round
+  bus.send(1, 2, 7, 8);
+  bus.step(BlockedSet{}, delivery);
+  ASSERT_EQ(bus.inbox(2).size(), 1u);
+  EXPECT_EQ(bus.inbox(2)[0].payload, 7);
+}
+
+TEST(Bus, DropAccountingPerBlockingPath) {
+  // Each of the three drop paths of the blocking rule — sender blocked in
+  // the sending round, receiver blocked in the sending round, receiver
+  // blocked in the delivery round — must hit note_dropped exactly once and
+  // charge no receive bits.
+  const auto run = [](NodeId blocked, bool in_delivery_round) {
+    WorkMeter meter;
+    Bus<int> bus(&meter);
+    BlockedSet blocked_set;
+    blocked_set.insert(blocked);
+    bus.send(1, 2, 7, 40);
+    if (in_delivery_round) {
+      bus.step(BlockedSet{}, blocked_set);
+    } else {
+      bus.step(blocked_set, BlockedSet{});
+    }
+    EXPECT_TRUE(bus.inbox(2).empty());
+    return meter.history().at(0);
+  };
+  for (const auto& work : {run(1, false), run(2, false), run(2, true)}) {
+    EXPECT_EQ(work.sent_messages, 1u);
+    EXPECT_EQ(work.total_messages, 0u);
+    EXPECT_EQ(work.dropped_messages, 1u);
+    EXPECT_TRUE(work.conserved());
+    // Only the sender's 40 bits are charged: the message never arrived.
+    EXPECT_EQ(work.total_bits, 40u);
+  }
+}
+
+TEST(Bus, InboxTurnoverAcrossConsecutiveRounds) {
+  // Regression for the deterministic per-delivery clearing: an inbox that
+  // receives in consecutive rounds holds only the newest round's messages,
+  // and inboxes untouched in a round stay empty.
+  Bus<int> bus;
+  bus.send(1, 2, 10, 8);
+  bus.send(1, 3, 11, 8);
+  bus.step();
+  ASSERT_EQ(bus.inbox(2).size(), 1u);
+  ASSERT_EQ(bus.inbox(3).size(), 1u);
+  bus.send(1, 2, 20, 8);
+  bus.step();
+  ASSERT_EQ(bus.inbox(2).size(), 1u);
+  EXPECT_EQ(bus.inbox(2)[0].payload, 20);
+  EXPECT_TRUE(bus.inbox(3).empty());  // cleared, not re-delivered
+  bus.step();
+  EXPECT_TRUE(bus.inbox(2).empty());
+}
+
 TEST(Bus, UnblockedEndpointsDeliver) {
   Bus<int> bus;
   BlockedSet sending;

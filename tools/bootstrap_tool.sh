@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Shared bootstrap-compile helper for the zero-dependency checkers
+# (reconfnet_lint, reconfnet_protocheck). Resolves a tool binary: prefer the
+# configured build tree (building the target there first if it is missing),
+# otherwise compile the listed sources directly with ${CXX:-c++} so the gates
+# run everywhere, including toolchain-only containers with no build tree.
+#
+# Prints the binary path on stdout; all diagnostics go to stderr.
+#
+# Usage:
+#   tools/bootstrap_tool.sh TOOL SUBDIR BUILD_DIR DEP...
+#
+#   TOOL       binary and CMake target name (e.g. reconfnet_lint)
+#   SUBDIR     build-tree subdirectory holding the binary (e.g. tools/lint)
+#   BUILD_DIR  configured build tree, or "" to force a bootstrap compile
+#   DEP...     files the bootstrap binary depends on; entries ending in .cpp
+#              are compiled, the rest (headers) only feed the staleness check
+#
+# Environment:
+#   CXX        compiler for the bootstrap build (default: c++)
+set -euo pipefail
+
+tool="$1"
+subdir="$2"
+build_dir="$3"
+shift 3
+
+if [[ -n "${build_dir}" && -f "${build_dir}/CMakeCache.txt" ]]; then
+  bin="${build_dir}/${subdir}/${tool}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "bootstrap_tool: building ${tool} in ${build_dir}" >&2
+    # A stale tree configured before the tool existed has no such target;
+    # fall through to the bootstrap compile instead of failing.
+    cmake --build "${build_dir}" --target "${tool}" -- -j "$(nproc)" \
+      > /dev/null 2>&1 || true
+  fi
+  if [[ -x "${bin}" ]]; then
+    echo "${bin}"
+    exit 0
+  fi
+  echo "bootstrap_tool: ${build_dir} has no ${tool}; bootstrapping" >&2
+fi
+
+bin="build/${tool}-bootstrap/${tool}"
+stale=0
+if [[ ! -x "${bin}" ]]; then
+  stale=1
+else
+  for dep in "$@"; do
+    if [[ "${dep}" -nt "${bin}" ]]; then
+      stale=1
+      break
+    fi
+  done
+fi
+if [[ "${stale}" -eq 1 ]]; then
+  echo "bootstrap_tool: compiling ${bin}" >&2
+  mkdir -p "$(dirname "${bin}")"
+  declare -a sources=()
+  for dep in "$@"; do
+    [[ "${dep}" == *.cpp ]] && sources+=("${dep}")
+  done
+  "${CXX:-c++}" -std=c++20 -O1 "${sources[@]}" -o "${bin}"
+fi
+echo "${bin}"

@@ -1,280 +1,53 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <sstream>
-#include <tuple>
 #include <utility>
 
 namespace reconfnet::lint {
 
-namespace {
-
-// ---------------------------------------------------------------------------
-// Small string helpers
-
-bool starts_with(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-  return s.substr(b, e - b);
-}
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::string dirname_of(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  return slash == std::string::npos ? std::string() : path.substr(0, slash);
-}
-
-// ---------------------------------------------------------------------------
-// Token stream over the stripped source
-
-struct Tok {
-  enum class Kind { kIdent, kPunct } kind;
-  std::string text;
-  std::size_t line;  // 1-based
-};
-
-std::vector<Tok> tokenize(const std::vector<std::string>& code) {
-  std::vector<Tok> toks;
-  for (std::size_t li = 0; li < code.size(); ++li) {
-    const std::string& s = code[li];
-    std::size_t i = 0;
-    while (i < s.size()) {
-      const char c = s[i];
-      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-        ++i;
-        continue;
-      }
-      if (is_ident_start(c)) {
-        std::size_t j = i + 1;
-        while (j < s.size() && is_ident_char(s[j])) ++j;
-        toks.push_back({Tok::Kind::kIdent, s.substr(i, j - i), li + 1});
-        i = j;
-        continue;
-      }
-      // Multi-char punctuation we must not split: `::` (so a lone `:` means
-      // range-for) and `->` (so a lone `>` means template close).
-      if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
-        toks.push_back({Tok::Kind::kPunct, "::", li + 1});
-        i += 2;
-        continue;
-      }
-      if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
-        toks.push_back({Tok::Kind::kPunct, "->", li + 1});
-        i += 2;
-        continue;
-      }
-      toks.push_back({Tok::Kind::kPunct, std::string(1, c), li + 1});
-      ++i;
-    }
-  }
-  return toks;
-}
-
-bool tok_is(const std::vector<Tok>& t, std::size_t i, const char* text) {
-  return i < t.size() && t[i].text == text;
-}
-
-/// `i` points at `<`; returns the index one past the matching `>`, or
-/// `t.size()` if unbalanced. Good enough for type contexts, where comparison
-/// operators cannot appear.
-std::size_t skip_angles(const std::vector<Tok>& t, std::size_t i) {
-  int depth = 0;
-  for (; i < t.size(); ++i) {
-    if (t[i].text == "<") ++depth;
-    if (t[i].text == ">" && --depth == 0) return i + 1;
-    if (t[i].text == ";") break;  // statement ended: malformed, bail
-  }
-  return t.size();
-}
-
-const std::set<std::string>& cpp_keywords() {
-  static const std::set<std::string> kKeywords = {
-      "alignas",  "alignof",  "auto",      "bool",     "break",    "case",
-      "catch",    "char",     "class",     "const",    "constexpr","continue",
-      "decltype", "default",  "delete",    "do",       "double",   "else",
-      "enum",     "explicit", "extern",    "false",    "float",    "for",
-      "friend",   "if",       "inline",    "int",      "long",     "mutable",
-      "namespace","new",      "noexcept",  "nullptr",  "operator", "private",
-      "protected","public",   "return",    "short",    "signed",   "sizeof",
-      "static",   "struct",   "switch",    "template", "this",     "throw",
-      "true",     "try",      "typedef",   "typename", "union",    "unsigned",
-      "using",    "virtual",  "void",      "volatile", "while"};
-  return kKeywords;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions
-
-struct LineSuppressions {
-  /// line -> rule ids allowed on that line.
-  std::map<std::size_t, std::set<std::string>> allow;
-  /// lines carrying a malformed reconfnet-lint comment.
-  std::vector<std::size_t> malformed;
-};
-
-/// Parses `reconfnet-lint: allow(RNLxxx[, RNLyyy]) reason` out of comment
-/// text. Returns false when the marker is present but malformed.
-bool parse_allow_comment(const std::string& comment,
-                         std::set<std::string>& rules) {
-  const std::size_t marker = comment.find("reconfnet-lint:");
-  std::size_t i = marker + std::string("reconfnet-lint:").size();
-  while (i < comment.size() &&
-         std::isspace(static_cast<unsigned char>(comment[i])) != 0)
-    ++i;
-  if (comment.compare(i, 6, "allow(") != 0) return false;
-  i += 6;
-  const std::size_t close = comment.find(')', i);
-  if (close == std::string::npos) return false;
-  std::string inside = comment.substr(i, close - i);
-  std::replace(inside.begin(), inside.end(), ',', ' ');
-  std::istringstream ids(inside);
-  std::string id;
-  while (ids >> id) {
-    if (id.size() != 6 || id.compare(0, 3, "RNL") != 0 ||
-        !std::all_of(id.begin() + 3, id.end(), [](char c) {
-          return std::isdigit(static_cast<unsigned char>(c)) != 0;
-        })) {
-      return false;
-    }
-    rules.insert(id);
-  }
-  if (rules.empty()) return false;
-  // A suppression without a reason is itself a finding: the reason is what
-  // makes the exemption auditable.
-  const std::string reason = trim(comment.substr(close + 1));
-  return !reason.empty();
-}
-
-LineSuppressions collect_suppressions(const SourceFile& file) {
-  LineSuppressions out;
-  for (std::size_t li = 0; li < file.comments.size(); ++li) {
-    const std::string& comment = file.comments[li];
-    if (comment.find("reconfnet-lint:") == std::string::npos) continue;
-    std::set<std::string> rules;
-    const std::size_t line = li + 1;
-    if (!parse_allow_comment(comment, rules)) {
-      out.malformed.push_back(line);
-      continue;
-    }
-    out.allow[line].insert(rules.begin(), rules.end());
-    // A comment-only line suppresses the next line that has code on it.
-    if (trim(file.code[li]).empty()) {
-      std::size_t target = li + 1;
-      while (target < file.code.size() && trim(file.code[target]).empty())
-        ++target;
-      if (target < file.code.size())
-        out.allow[target + 1].insert(rules.begin(), rules.end());
-    }
-  }
-  return out;
-}
-
-}  // namespace
+using textscan::Tok;
+using textscan::cpp_keywords;
+using textscan::dirname_of;
+using textscan::skip_angles;
+using textscan::starts_with;
+using textscan::tok_is;
+using textscan::tokenize;
+using textscan::trim;
 
 // ---------------------------------------------------------------------------
 // Config parsing (layers.toml subset)
 
-namespace {
-
-/// Parses `["a", "b"]` into items; returns false on malformed input.
-bool parse_string_array(const std::string& value,
-                        std::vector<std::string>& items) {
-  const std::string inner = trim(value);
-  if (inner.size() < 2 || inner.front() != '[' || inner.back() != ']')
-    return false;
-  std::size_t i = 1;
-  const std::size_t end = inner.size() - 1;
-  while (i < end) {
-    while (i < end &&
-           (std::isspace(static_cast<unsigned char>(inner[i])) != 0 ||
-            inner[i] == ','))
-      ++i;
-    if (i >= end) break;
-    if (inner[i] != '"') return false;
-    const std::size_t close = inner.find('"', i + 1);
-    if (close == std::string::npos || close > end) return false;
-    items.push_back(inner.substr(i + 1, close - i - 1));
-    i = close + 1;
-  }
-  return true;
-}
-
-}  // namespace
-
 bool parse_config(const std::string& text, Config& config,
                   std::string& error) {
   config = Config{};
-  enum class Section { kNone, kLayer, kAllow } section = Section::kNone;
-  std::istringstream in(text);
-  std::string raw;
-  std::size_t lineno = 0;
-  while (std::getline(in, raw)) {
-    ++lineno;
-    const std::size_t hash = raw.find('#');
-    const std::string line =
-        trim(hash == std::string::npos ? raw : raw.substr(0, hash));
-    if (line.empty()) continue;
-    if (line == "[[layer]]") {
+  std::vector<textscan::TomlSection> sections;
+  if (!textscan::parse_toml_subset(text, sections, error)) return false;
+  for (const auto& section : sections) {
+    if (section.is_array_of_tables && section.name == "layer") {
       config.layers.push_back({});
-      section = Section::kLayer;
-      continue;
-    }
-    if (line == "[allow]") {
-      section = Section::kAllow;
-      continue;
-    }
-    if (line.front() == '[') {
-      error = "line " + std::to_string(lineno) + ": unknown section " + line;
-      return false;
-    }
-    const std::size_t eq = line.find('=');
-    if (eq == std::string::npos) {
-      error = "line " + std::to_string(lineno) + ": expected key = value";
-      return false;
-    }
-    const std::string key = trim(line.substr(0, eq));
-    const std::string value = trim(line.substr(eq + 1));
-    if (section == Section::kLayer) {
-      if (config.layers.empty()) {
-        error = "line " + std::to_string(lineno) + ": key outside [[layer]]";
-        return false;
-      }
-      if (key == "name") {
-        if (value.size() < 2 || value.front() != '"' || value.back() != '"') {
-          error = "line " + std::to_string(lineno) + ": name wants a string";
+      for (const auto& entry : section.entries) {
+        if (entry.key == "name" && !entry.is_array) {
+          config.layers.back().name = entry.scalar;
+        } else if (entry.key == "paths" && entry.is_array) {
+          config.layers.back().paths = entry.items;
+        } else {
+          error = "line " + std::to_string(entry.line) +
+                  ": bad layer key " + entry.key +
+                  " (want name = \"...\" or paths = [...])";
           return false;
         }
-        config.layers.back().name = value.substr(1, value.size() - 2);
-      } else if (key == "paths") {
-        if (!parse_string_array(value, config.layers.back().paths)) {
-          error = "line " + std::to_string(lineno) + ": bad paths array";
+      }
+    } else if (!section.is_array_of_tables && section.name == "allow") {
+      for (const auto& entry : section.entries) {
+        if (!entry.is_array) {
+          error = "line " + std::to_string(entry.line) + ": bad allow array";
           return false;
         }
-      } else {
-        error = "line " + std::to_string(lineno) + ": unknown layer key " + key;
-        return false;
-      }
-    } else if (section == Section::kAllow) {
-      if (!parse_string_array(value, config.allow[key])) {
-        error = "line " + std::to_string(lineno) + ": bad allow array";
-        return false;
+        config.allow[entry.key] = entry.items;
       }
     } else {
-      error = "line " + std::to_string(lineno) + ": key outside any section";
+      error = "line " + std::to_string(section.line) + ": unknown section " +
+              section.name;
       return false;
     }
   }
@@ -285,145 +58,6 @@ bool parse_config(const std::string& text, Config& config,
     }
   }
   return true;
-}
-
-// ---------------------------------------------------------------------------
-// Source stripping
-
-bool SourceFile::is_header() const {
-  return path.size() > 4 ? (path.ends_with(".hpp") || path.ends_with(".h"))
-                         : path.ends_with(".h");
-}
-
-SourceFile strip_source(std::string path, const std::string& text) {
-  SourceFile out;
-  out.path = std::move(path);
-
-  // Capture quoted includes from the raw text first; stripping blanks string
-  // contents, which is exactly where the include target lives.
-  {
-    std::istringstream in(text);
-    std::string raw;
-    std::size_t lineno = 0;
-    bool in_block_comment = false;
-    while (std::getline(in, raw)) {
-      ++lineno;
-      if (in_block_comment) {
-        const std::size_t close = raw.find("*/");
-        if (close == std::string::npos) continue;
-        in_block_comment = false;
-        raw = raw.substr(close + 2);
-      }
-      const std::string line = trim(raw);
-      if (starts_with(line, "#include")) {
-        const std::size_t open = line.find('"');
-        if (open != std::string::npos) {
-          const std::size_t close = line.find('"', open + 1);
-          if (close != std::string::npos)
-            out.includes.emplace_back(
-                lineno, line.substr(open + 1, close - open - 1));
-        }
-      }
-      // Track block comments that open on this line and stay open.
-      std::size_t pos = 0;
-      while ((pos = raw.find("/*", pos)) != std::string::npos) {
-        const std::size_t line_comment = raw.find("//");
-        if (line_comment != std::string::npos && line_comment < pos) break;
-        const std::size_t close = raw.find("*/", pos + 2);
-        if (close == std::string::npos) {
-          in_block_comment = true;
-          break;
-        }
-        pos = close + 2;
-      }
-    }
-  }
-
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString
-  } state = State::kCode;
-  std::string code_line;
-  std::string comment_line;
-  std::string raw_delim;  // for raw strings: the `)delim"` terminator
-  const std::size_t n = text.size();
-  for (std::size_t i = 0; i <= n; ++i) {
-    const char c = i < n ? text[i] : '\n';
-    if (c == '\n') {
-      out.code.push_back(code_line);
-      out.comments.push_back(comment_line);
-      code_line.clear();
-      comment_line.clear();
-      if (state == State::kLineComment) state = State::kCode;
-      if (i == n) break;
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-          state = State::kLineComment;
-          ++i;
-        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-          state = State::kBlockComment;
-          ++i;
-        } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
-                   (i == 0 || !is_ident_char(text[i - 1]))) {
-          std::size_t j = i + 2;
-          while (j < n && text[j] != '(' && text[j] != '\n') ++j;
-          raw_delim = ")" + text.substr(i + 2, j - i - 2) + "\"";
-          code_line += "\"\"";
-          state = State::kRawString;
-          i = j;  // position at '('
-        } else if (c == '"') {
-          code_line += '"';
-          state = State::kString;
-        } else if (c == '\'') {
-          code_line += '\'';
-          state = State::kChar;
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment_line += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
-          state = State::kCode;
-          ++i;
-        } else {
-          comment_line += c;
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && i + 1 < n) {
-          ++i;
-        } else if (c == '"') {
-          code_line += '"';
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < n) {
-          ++i;
-        } else if (c == '\'') {
-          code_line += '\'';
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString:
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        }
-        break;
-    }
-  }
-  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -448,9 +82,7 @@ void Driver::add_known_path(const std::string& path) {
 bool Driver::allowed(const std::string& rule, const std::string& path) const {
   const auto it = config_.allow.find(rule);
   if (it == config_.allow.end()) return false;
-  return std::any_of(
-      it->second.begin(), it->second.end(),
-      [&path](const std::string& prefix) { return starts_with(path, prefix.c_str()); });
+  return textscan::matches_any_prefix(path, it->second);
 }
 
 int Driver::layer_of(const std::string& path) const {
@@ -473,7 +105,8 @@ std::string Driver::resolve_include(const std::string& includer,
   const std::string candidates[] = {target, "src/" + target,
                                     dir.empty() ? target : dir + "/" + target};
   for (const std::string& candidate : candidates) {
-    if (known_paths_.count(candidate) != 0) return candidate;
+    const std::string normalized = textscan::lexical_normalize(candidate);
+    if (known_paths_.count(normalized) != 0) return normalized;
   }
   return {};
 }
@@ -831,7 +464,8 @@ Driver::Result Driver::run() {
     check_layering(file, raw);
     check_hygiene(file, raw);
 
-    const LineSuppressions suppressions = collect_suppressions(file);
+    const textscan::LineSuppressions suppressions =
+        textscan::collect_suppressions(file, "reconfnet-lint:", "RNL");
     for (const std::size_t line : suppressions.malformed) {
       raw.push_back({path, line, "RNL204",
                      "malformed suppression; expected "
@@ -849,20 +483,7 @@ Driver::Result Driver::run() {
     }
   }
 
-  std::sort(result.findings.begin(), result.findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
-            });
-  // The include-line scan and the token scan can both flag the same site
-  // (e.g. `#include <chrono>`); report each (file, line, rule) once.
-  result.findings.erase(
-      std::unique(result.findings.begin(), result.findings.end(),
-                  [](const Finding& a, const Finding& b) {
-                    return std::tie(a.file, a.line, a.rule) ==
-                           std::tie(b.file, b.line, b.rule);
-                  }),
-      result.findings.end());
+  textscan::sort_and_dedupe(result.findings);
   return result;
 }
 

@@ -4,12 +4,13 @@
 // (master_seed, trial_index); --jobs N is byte-identical to --jobs 1) and the
 // layer DAG are enforced here, ahead of the runtime tests that would only
 // catch a breach after the fact. The checker is deliberately zero-dependency:
-// it tokenises and light-parses the sources itself (no libclang), so it
-// builds and runs on the gcc-only dev container and in CI alike.
+// the shared scanning machinery lives in tools/lint/textscan.{hpp,cpp}
+// (tokenizer, source stripper, suppression parser, TOML subset), which
+// reconfnet_protocheck (tools/protocheck/) builds on as well.
 //
 // Rule families (each finding prints `file:line: RNLxxx message`):
 //
-//   Determinism (RNLk0xx)
+//   Determinism (RNL0xx)
 //     RNL001  std::random_device — nondeterministic seed source
 //     RNL002  rand()/srand()/*rand48 — hidden global-state RNG
 //     RNL003  std::chrono / time() / clock_gettime() etc. — wall-clock input
@@ -40,14 +41,13 @@
 #include <string>
 #include <vector>
 
+#include "textscan.hpp"
+
 namespace reconfnet::lint {
 
-struct Finding {
-  std::string file;
-  std::size_t line = 0;  // 1-based
-  std::string rule;      // "RNL001"
-  std::string message;
-};
+using textscan::Finding;
+using textscan::SourceFile;
+using textscan::strip_source;
 
 /// One layer of the include DAG. Layers are ordered bottom -> top; a file may
 /// include files whose layer index is <= its own. `paths` entries are
@@ -69,23 +69,6 @@ struct Config {
 /// [allow] table mapping rule ids to path arrays. Returns false and fills
 /// `error` on malformed input.
 bool parse_config(const std::string& text, Config& config, std::string& error);
-
-/// A source file after comment/string stripping. `code` holds the stripped
-/// lines (comments and string/char literal contents blanked, line structure
-/// preserved); `comments` holds the comment text found on each line, which is
-/// where suppressions and NOLINT markers live.
-struct SourceFile {
-  std::string path;
-  std::vector<std::string> code;
-  std::vector<std::string> comments;
-  /// Quoted includes: line number -> include path as written.
-  std::vector<std::pair<std::size_t, std::string>> includes;
-  [[nodiscard]] bool is_header() const;
-};
-
-/// Strips `text` into a SourceFile. Handles //, /* */, string/char literals
-/// and raw strings; include targets are captured before stripping.
-SourceFile strip_source(std::string path, const std::string& text);
 
 class Driver {
  public:

@@ -1,7 +1,8 @@
 // reconfnet_lint CLI. See lint.hpp for the rule catalogue.
 //
 // Usage:
-//   reconfnet_lint [--root DIR] [--config FILE] [--compdb FILE] [file...]
+//   reconfnet_lint [--root DIR] [--config FILE] [--compdb FILE]
+//                  [--sarif FILE] [file...]
 //
 //   --root DIR     repository root (default: current directory). All paths
 //                  are interpreted and reported relative to it.
@@ -9,8 +10,10 @@
 //   --compdb FILE  compile_commands.json; its "file" entries seed the
 //                  translation-unit list (headers are discovered by walking
 //                  the lint roots either way)
+//   --sarif FILE   also write the findings as SARIF 2.1.0 (for the CI
+//                  code-scanning upload); does not change the exit status
 //   file...        lint exactly these files instead of the whole tree
-//                  (fixture files under tests/lint_fixtures/ are only
+//                  (fixture files under tests/*_fixtures/ are only
 //                  reachable this way)
 //
 // Exit status: 0 clean, 1 findings, 2 usage/configuration error.
@@ -79,6 +82,7 @@ int main(int argc, char** argv) {
   fs::path root = ".";
   fs::path config_path;
   fs::path compdb_path;
+  fs::path sarif_path;
   std::vector<std::string> explicit_files;
 
   for (int i = 1; i < argc; ++i) {
@@ -96,9 +100,11 @@ int main(int argc, char** argv) {
       config_path = next("--config");
     } else if (arg == "--compdb") {
       compdb_path = next("--compdb");
+    } else if (arg == "--sarif") {
+      sarif_path = next("--sarif");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: reconfnet_lint [--root DIR] [--config FILE] "
-                   "[--compdb FILE] [file...]\n";
+                   "[--compdb FILE] [--sarif FILE] [file...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "reconfnet_lint: unknown option " << arg << "\n";
@@ -135,7 +141,7 @@ int main(int argc, char** argv) {
         if (!it->is_regular_file() || !lintable_extension(it->path()))
           continue;
         const std::string rel = repo_relative(it->path(), root);
-        if (rel.find("lint_fixtures") != std::string::npos) continue;
+        if (rel.find("_fixtures") != std::string::npos) continue;
         paths.insert(rel);
       }
     }
@@ -149,7 +155,7 @@ int main(int argc, char** argv) {
       for (const std::string& file : compdb_files(compdb_text)) {
         const std::string rel = repo_relative(file, root);
         if (rel.rfind("..", 0) == 0) continue;  // outside the repo
-        if (rel.find("lint_fixtures") != std::string::npos) continue;
+        if (rel.find("_fixtures") != std::string::npos) continue;
         if (fs::exists(root / rel)) paths.insert(rel);
       }
     }
@@ -196,6 +202,15 @@ int main(int argc, char** argv) {
   for (const reconfnet::lint::Finding& finding : result.findings) {
     std::cout << finding.file << ":" << finding.line << ": " << finding.rule
               << " " << finding.message << "\n";
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream sarif(sarif_path, std::ios::binary);
+    if (!sarif) {
+      std::cerr << "reconfnet_lint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    reconfnet::textscan::write_sarif(sarif, "reconfnet_lint",
+                                     "tools/lint/lint.hpp", result.findings);
   }
   std::cerr << "reconfnet_lint: " << result.files_checked << " files, "
             << result.findings.size() << " findings (" << result.suppressed

@@ -1,0 +1,552 @@
+#include "textscan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+namespace reconfnet::textscan {
+
+// ---------------------------------------------------------------------------
+// Findings
+
+void sort_and_dedupe(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return std::tie(a.file, a.line, a.rule) ==
+                                      std::tie(b.file, b.line, b.rule);
+                             }),
+                 findings.end());
+}
+
+// ---------------------------------------------------------------------------
+// Small string helpers
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+bool matches_any_prefix(const std::string& path,
+                        const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&path](const std::string& prefix) {
+                       return starts_with(path, prefix.c_str());
+                     });
+}
+
+std::string lexical_normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    const std::size_t slash = path.find('/', begin);
+    const std::size_t end = slash == std::string::npos ? path.size() : slash;
+    const std::string part = path.substr(begin, end - begin);
+    if (part == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+    } else if (!part.empty() && part != ".") {
+      parts.push_back(part);
+    }
+    if (slash == std::string::npos) break;
+    begin = slash + 1;
+  }
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) out += '/';
+    out += part;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token stream
+
+std::vector<Tok> tokenize(const std::vector<std::string>& code) {
+  std::vector<Tok> toks;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& s = code[li];
+    std::size_t i = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (is_ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < s.size() && is_ident_char(s[j])) ++j;
+        toks.push_back({Tok::Kind::kIdent, s.substr(i, j - i), li + 1});
+        i = j;
+        continue;
+      }
+      // Multi-char punctuation we must not split: `::` (so a lone `:` means
+      // range-for) and `->` (so a lone `>` means template close).
+      if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+        toks.push_back({Tok::Kind::kPunct, "::", li + 1});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+        toks.push_back({Tok::Kind::kPunct, "->", li + 1});
+        i += 2;
+        continue;
+      }
+      toks.push_back({Tok::Kind::kPunct, std::string(1, c), li + 1});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+bool tok_is(const std::vector<Tok>& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+std::size_t skip_angles(const std::vector<Tok>& t, std::size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].text == "<") ++depth;
+    if (t[i].text == ">" && --depth == 0) return i + 1;
+    if (t[i].text == ";") break;  // statement ended: malformed, bail
+  }
+  return t.size();
+}
+
+const std::set<std::string>& cpp_keywords() {
+  static const std::set<std::string> kKeywords = {
+      "alignas",  "alignof",  "auto",      "bool",     "break",    "case",
+      "catch",    "char",     "class",     "const",    "constexpr","continue",
+      "decltype", "default",  "delete",    "do",       "double",   "else",
+      "enum",     "explicit", "extern",    "false",    "float",    "for",
+      "friend",   "if",       "inline",    "int",      "long",     "mutable",
+      "namespace","new",      "noexcept",  "nullptr",  "operator", "private",
+      "protected","public",   "return",    "short",    "signed",   "sizeof",
+      "static",   "struct",   "switch",    "template", "this",     "throw",
+      "true",     "try",      "typedef",   "typename", "union",    "unsigned",
+      "using",    "virtual",  "void",      "volatile", "while"};
+  return kKeywords;
+}
+
+// ---------------------------------------------------------------------------
+// Source stripping
+
+bool SourceFile::is_header() const {
+  return path.size() > 4 ? (path.ends_with(".hpp") || path.ends_with(".h"))
+                         : path.ends_with(".h");
+}
+
+SourceFile strip_source(std::string path, const std::string& text) {
+  SourceFile out;
+  out.path = std::move(path);
+
+  // Capture quoted includes from the raw text first; stripping blanks string
+  // contents, which is exactly where the include target lives.
+  {
+    std::istringstream in(text);
+    std::string raw;
+    std::size_t lineno = 0;
+    bool in_block_comment = false;
+    while (std::getline(in, raw)) {
+      ++lineno;
+      if (in_block_comment) {
+        const std::size_t close = raw.find("*/");
+        if (close == std::string::npos) continue;
+        in_block_comment = false;
+        raw = raw.substr(close + 2);
+      }
+      const std::string line = trim(raw);
+      if (starts_with(line, "#include")) {
+        const std::size_t open = line.find('"');
+        if (open != std::string::npos) {
+          const std::size_t close = line.find('"', open + 1);
+          if (close != std::string::npos)
+            out.includes.emplace_back(lineno,
+                                      line.substr(open + 1, close - open - 1));
+        }
+      }
+      // Track block comments that open on this line and stay open.
+      std::size_t pos = 0;
+      while ((pos = raw.find("/*", pos)) != std::string::npos) {
+        const std::size_t line_comment = raw.find("//");
+        if (line_comment != std::string::npos && line_comment < pos) break;
+        const std::size_t close = raw.find("*/", pos + 2);
+        if (close == std::string::npos) {
+          in_block_comment = true;
+          break;
+        }
+        pos = close + 2;
+      }
+    }
+  }
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  } state = State::kCode;
+  std::string code_line;
+  std::string comment_line;
+  std::string raw_delim;  // for raw strings: the `)delim"` terminator
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i <= n; ++i) {
+    const char c = i < n ? text[i] : '\n';
+    if (c == '\n') {
+      out.code.push_back(code_line);
+      out.comments.push_back(comment_line);
+      code_line.clear();
+      comment_line.clear();
+      if (state == State::kLineComment) state = State::kCode;
+      if (i == n) break;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+                   (i == 0 || !is_ident_char(text[i - 1]))) {
+          std::size_t j = i + 2;
+          while (j < n && text[j] != '(' && text[j] != '\n') ++j;
+          raw_delim = ")" + text.substr(i + 2, j - i - 2) + "\"";
+          code_line += "\"\"";
+          state = State::kRawString;
+          i = j;  // position at '('
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kChar;
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+namespace {
+
+/// Parses `<marker> allow(XYZnnn[, XYZmmm]) reason` out of comment text.
+/// Returns false when the marker is present but malformed.
+bool parse_allow_comment(const std::string& comment, const std::string& marker,
+                         const std::string& rule_prefix,
+                         std::set<std::string>& rules) {
+  const std::size_t at = comment.find(marker);
+  std::size_t i = at + marker.size();
+  while (i < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[i])) != 0)
+    ++i;
+  if (comment.compare(i, 6, "allow(") != 0) return false;
+  i += 6;
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string::npos) return false;
+  std::string inside = comment.substr(i, close - i);
+  std::replace(inside.begin(), inside.end(), ',', ' ');
+  std::istringstream ids(inside);
+  std::string id;
+  while (ids >> id) {
+    if (id.size() != rule_prefix.size() + 3 ||
+        id.compare(0, rule_prefix.size(), rule_prefix) != 0 ||
+        !std::all_of(id.begin() +
+                         static_cast<std::ptrdiff_t>(rule_prefix.size()),
+                     id.end(), [](char c) {
+                       return std::isdigit(static_cast<unsigned char>(c)) != 0;
+                     })) {
+      return false;
+    }
+    rules.insert(id);
+  }
+  if (rules.empty()) return false;
+  // A suppression without a reason is itself a finding: the reason is what
+  // makes the exemption auditable.
+  const std::string reason = trim(comment.substr(close + 1));
+  return !reason.empty();
+}
+
+}  // namespace
+
+LineSuppressions collect_suppressions(const SourceFile& file,
+                                      const std::string& marker,
+                                      const std::string& rule_prefix) {
+  LineSuppressions out;
+  for (std::size_t li = 0; li < file.comments.size(); ++li) {
+    const std::string& comment = file.comments[li];
+    if (comment.find(marker) == std::string::npos) continue;
+    std::set<std::string> rules;
+    const std::size_t line = li + 1;
+    if (!parse_allow_comment(comment, marker, rule_prefix, rules)) {
+      out.malformed.push_back(line);
+      continue;
+    }
+    out.allow[line].insert(rules.begin(), rules.end());
+    // A comment-only line suppresses the next line that has code on it.
+    if (trim(file.code[li]).empty()) {
+      std::size_t target = li + 1;
+      while (target < file.code.size() && trim(file.code[target]).empty())
+        ++target;
+      if (target < file.code.size())
+        out.allow[target + 1].insert(rules.begin(), rules.end());
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TOML subset
+
+bool parse_string_array(const std::string& value,
+                        std::vector<std::string>& items) {
+  const std::string inner = trim(value);
+  if (inner.size() < 2 || inner.front() != '[' || inner.back() != ']')
+    return false;
+  std::size_t i = 1;
+  const std::size_t end = inner.size() - 1;
+  while (i < end) {
+    while (i < end && (std::isspace(static_cast<unsigned char>(inner[i])) !=
+                           0 ||
+                       inner[i] == ','))
+      ++i;
+    if (i >= end) break;
+    if (inner[i] != '"') return false;
+    const std::size_t close = inner.find('"', i + 1);
+    if (close == std::string::npos || close > end) return false;
+    items.push_back(inner.substr(i + 1, close - i - 1));
+    i = close + 1;
+  }
+  return true;
+}
+
+bool parse_toml_subset(const std::string& text,
+                       std::vector<TomlSection>& sections,
+                       std::string& error) {
+  sections.clear();
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip comments, but not inside quoted strings (a '#' may legitimately
+    // appear inside a value; none of our configs need that yet, so a plain
+    // scan that respects quotes is enough).
+    std::string stripped;
+    bool in_string = false;
+    for (const char c : raw) {
+      if (c == '"') in_string = !in_string;
+      if (c == '#' && !in_string) break;
+      stripped += c;
+    }
+    const std::string line = trim(stripped);
+    if (line.empty()) continue;
+    if (starts_with(line, "[[") && line.ends_with("]]")) {
+      const std::string name = trim(line.substr(2, line.size() - 4));
+      if (name.empty()) {
+        error = "line " + std::to_string(lineno) + ": empty section name";
+        return false;
+      }
+      sections.push_back({name, true, lineno, {}});
+      continue;
+    }
+    if (line.front() == '[') {
+      if (!line.ends_with("]") || line.size() < 3) {
+        error = "line " + std::to_string(lineno) + ": malformed section header";
+        return false;
+      }
+      const std::string name = trim(line.substr(1, line.size() - 2));
+      sections.push_back({name, false, lineno, {}});
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      error = "line " + std::to_string(lineno) + ": expected key = value";
+      return false;
+    }
+    if (sections.empty()) {
+      error = "line " + std::to_string(lineno) + ": key outside any section";
+      return false;
+    }
+    TomlEntry entry;
+    entry.key = trim(line.substr(0, eq));
+    entry.line = lineno;
+    const std::string value = trim(line.substr(eq + 1));
+    if (entry.key.empty() || value.empty()) {
+      error = "line " + std::to_string(lineno) + ": expected key = value";
+      return false;
+    }
+    if (value.front() == '[') {
+      entry.is_array = true;
+      if (!parse_string_array(value, entry.items)) {
+        error = "line " + std::to_string(lineno) + ": bad string array";
+        return false;
+      }
+    } else if (value.front() == '"') {
+      if (value.size() < 2 || value.back() != '"') {
+        error = "line " + std::to_string(lineno) + ": unterminated string";
+        return false;
+      }
+      entry.scalar = value.substr(1, value.size() - 2);
+    } else {
+      entry.scalar = value;  // bare token (number, bool)
+    }
+    sections.back().entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SARIF export
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_sarif(std::ostream& out, const std::string& tool_name,
+                 const std::string& info_uri,
+                 const std::vector<Finding>& findings) {
+  // Distinct rule ids, sorted, each becomes a reportingDescriptor.
+  std::set<std::string> rules;
+  for (const Finding& finding : findings) rules.insert(finding.rule);
+
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"" << json_escape(tool_name) << "\",\n"
+      << "          \"informationUri\": \"" << json_escape(info_uri)
+      << "\",\n"
+      << "          \"rules\": [";
+  bool first = true;
+  for (const std::string& rule : rules) {
+    out << (first ? "\n" : ",\n")
+        << "            {\"id\": \"" << json_escape(rule) << "\"}";
+    first = false;
+  }
+  out << (rules.empty() ? "]\n" : "\n          ]\n")
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  first = true;
+  for (const Finding& finding : findings) {
+    out << (first ? "\n" : ",\n")
+        << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(finding.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \""
+        << json_escape(finding.message) << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(finding.file) << "\"},\n"
+        << "                \"region\": {\"startLine\": "
+        << (finding.line == 0 ? 1 : finding.line) << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+    first = false;
+  }
+  out << (findings.empty() ? "]\n" : "\n      ]\n")
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
+}  // namespace reconfnet::textscan

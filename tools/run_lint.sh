@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Run reconfnet_lint (tools/lint/) over the first-party tree and fail
 # non-zero on any unsuppressed finding. Companion to run_tidy.sh: clang-tidy
-# needs the clang toolchain, while this checker is zero-dependency — it is
-# built from two C++20 files on the spot if no build tree has it yet, so the
-# determinism/layering gate runs everywhere, including the gcc-only dev
-# container.
+# needs the clang toolchain, while this checker is zero-dependency — with no
+# build tree it is bootstrap-compiled on the spot via tools/bootstrap_tool.sh,
+# so the determinism/layering gate runs everywhere, including the gcc-only
+# dev container.
 #
 # Usage:
 #   tools/run_lint.sh [build-dir] [file...]
@@ -12,14 +12,16 @@
 #   build-dir  build tree to take the reconfnet_lint binary and
 #              compile_commands.json from (default: first existing of
 #              build/default, build, build/tidy; bootstrap-compiled into
-#              build/lint-bootstrap when none is configured)
+#              build/reconfnet_lint-bootstrap when none is configured)
 #   file...    restrict the run to these sources (default: every file under
 #              src/ bench/ tools/ examples/ tests/)
 #
 # Environment:
-#   LINT_LOG   also write the findings to this file (CI uploads it as an
-#              artifact); the log is written even when the run is clean.
-#   CXX        compiler for the bootstrap build (default: c++)
+#   LINT_LOG    also write the findings to this file (CI uploads it as an
+#               artifact); the log is written even when the run is clean.
+#   LINT_SARIF  also write a SARIF 2.1.0 log to this file (for the CI
+#               code-scanning upload).
+#   CXX         compiler for the bootstrap build (default: c++)
 set -euo pipefail
 
 repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -38,31 +40,17 @@ if [[ -z "${build_dir}" ]]; then
   done
 fi
 
-# Locate the checker: prefer the build tree's binary (building it there if
-# the tree is configured), fall back to a direct two-file compile.
-lint_bin=""
-if [[ -n "${build_dir}" && -f "${build_dir}/CMakeCache.txt" ]]; then
-  lint_bin="${build_dir}/tools/lint/reconfnet_lint"
-  if [[ ! -x "${lint_bin}" ]]; then
-    echo "run_lint: building reconfnet_lint in ${build_dir}" >&2
-    cmake --build "${build_dir}" --target reconfnet_lint -- -j "$(nproc)" \
-      > /dev/null
-  fi
-fi
-if [[ -z "${lint_bin}" || ! -x "${lint_bin}" ]]; then
-  lint_bin="build/lint-bootstrap/reconfnet_lint"
-  if [[ ! -x "${lint_bin}" || tools/lint/lint.cpp -nt "${lint_bin}" ||
-        tools/lint/main.cpp -nt "${lint_bin}" ]]; then
-    echo "run_lint: bootstrap-compiling ${lint_bin}" >&2
-    mkdir -p "$(dirname "${lint_bin}")"
-    "${CXX:-c++}" -std=c++20 -O1 -I tools/lint \
-      tools/lint/lint.cpp tools/lint/main.cpp -o "${lint_bin}"
-  fi
-fi
+lint_bin="$(tools/bootstrap_tool.sh reconfnet_lint tools/lint \
+  "${build_dir}" \
+  tools/lint/textscan.hpp tools/lint/textscan.cpp \
+  tools/lint/lint.hpp tools/lint/lint.cpp tools/lint/main.cpp)"
 
 declare -a args=(--root . --config tools/lint/layers.toml)
 if [[ -n "${build_dir}" && -f "${build_dir}/compile_commands.json" ]]; then
   args+=(--compdb "${build_dir}/compile_commands.json")
+fi
+if [[ -n "${LINT_SARIF:-}" ]]; then
+  args+=(--sarif "${LINT_SARIF}")
 fi
 if [[ $# -gt 0 ]]; then
   args+=("$@")

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Run reconfnet_protocheck (tools/protocheck/) — the protocol-conformance
+# gate — and fail non-zero on any unsuppressed finding. The checker compares
+# the sources against the machine-readable protocol spec
+# tools/protocheck/protocol.toml: message senders/receivers, per-send bits
+# formulas, payload purity, round-phase order, and pinned constants (see
+# DESIGN.md). Like run_lint.sh it is zero-dependency: with no build tree it
+# is bootstrap-compiled on the spot via tools/bootstrap_tool.sh.
+#
+# Usage:
+#   tools/run_protocheck.sh [build-dir] [file...]
+#
+#   build-dir  build tree to take the reconfnet_protocheck binary from
+#              (default: first existing of build/default, build, build/tidy;
+#              bootstrap-compiled when none is configured)
+#   file...    restrict the run to these sources (partial mode: whole-tree
+#              rules such as the orphan checks are skipped)
+#
+# Environment:
+#   PROTOCHECK_LOG    also write the findings to this file (CI uploads it as
+#                     an artifact); written even when the run is clean.
+#   PROTOCHECK_SARIF  also write a SARIF 2.1.0 log to this file (for the CI
+#                     code-scanning upload).
+#   CXX               compiler for the bootstrap build (default: c++)
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+build_dir="${1:-}"
+if [[ $# -gt 0 ]]; then
+  shift
+fi
+if [[ -z "${build_dir}" ]]; then
+  for candidate in build/default build build/tidy; do
+    if [[ -f "${candidate}/CMakeCache.txt" ]]; then
+      build_dir="${candidate}"
+      break
+    fi
+  done
+fi
+
+check_bin="$(tools/bootstrap_tool.sh reconfnet_protocheck tools/protocheck \
+  "${build_dir}" \
+  tools/lint/textscan.hpp tools/lint/textscan.cpp \
+  tools/protocheck/protocheck.hpp tools/protocheck/protocheck.cpp \
+  tools/protocheck/main.cpp)"
+
+declare -a args=(--root . --spec tools/protocheck/protocol.toml)
+if [[ -n "${PROTOCHECK_SARIF:-}" ]]; then
+  args+=(--sarif "${PROTOCHECK_SARIF}")
+fi
+if [[ $# -gt 0 ]]; then
+  args+=("$@")
+fi
+
+status=0
+if [[ -n "${PROTOCHECK_LOG:-}" ]]; then
+  "${check_bin}" "${args[@]}" 2>&1 | tee "${PROTOCHECK_LOG}" || status=$?
+else
+  "${check_bin}" "${args[@]}" || status=$?
+fi
+exit "${status}"
