@@ -1,0 +1,306 @@
+// Experiments F5/F6 (DESIGN.md §10): the paper's model is loss-free, so its
+// one-round phases have no retransmission story. F5 measures the loss-rate
+// crossover: the bare Algorithm 3 epoch stops completing at tiny i.i.d. loss
+// rates, while the ack/retry ReliableChannel wrapper extends full-epoch
+// survival to strictly higher loss. F6 measures recovery latency: a healed
+// partition reconnects within one backoff cap, a transient crash window is
+// bridged by retransmission, and a crash-stopped member is repaired by the
+// leave + fresh-id rejoin protocol (Section 1.1 never reuses ids).
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adversary/churn.hpp"
+#include "bench/common.hpp"
+#include "churn/overlay.hpp"
+#include "churn/reconfigure.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/reliable_channel.hpp"
+#include "graph/hgraph.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace reconfnet;
+
+constexpr int kEpochs = 3;
+constexpr sim::Round kSettleRounds = 16;
+
+struct LossCell {
+  double loss = 0.0;
+};
+
+struct HealCell {
+  sim::Round heal = 0;
+};
+
+struct ModeOutcome {
+  double epochs_ok = 0.0;
+  double rounds = 0.0;   ///< rounds of the last epoch
+  double offered = 0.0;  ///< messages the injector was consulted on
+  double lost = 0.0;     ///< messages it dropped (i.i.d.)
+};
+
+/// Runs kEpochs reconfiguration epochs of a churn-free n=64 overlay under
+/// i.i.d. loss `loss`; settle = 0 is the paper's bare one-round phases,
+/// settle > 0 opts the epoch into the ReliableChannel wrapper.
+ModeOutcome run_overlay_epochs(double loss, sim::Round settle,
+                               std::uint64_t overlay_seed,
+                               support::Rng fault_rng) {
+  fault::FaultPlan plan;
+  plan.with_loss(loss);
+  fault::FaultInjector injector(plan, std::move(fault_rng));
+  churn::ChurnOverlay::Config config;
+  config.initial_size = 64;
+  config.degree = 8;
+  config.sampling.c = 2.0;
+  config.seed = overlay_seed;
+  config.fault_hook = &injector;
+  config.reliable_settle_rounds = settle;
+  churn::ChurnOverlay overlay(config);
+  adversary::NoChurn no_churn;
+  ModeOutcome out;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    const auto report = overlay.run_epoch(no_churn);
+    out.epochs_ok += report.success ? 1.0 : 0.0;
+    out.rounds = static_cast<double>(report.rounds);
+  }
+  out.offered = static_cast<double>(injector.counters().offered);
+  out.lost = static_cast<double>(injector.counters().lost_iid);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reconfnet;
+  const bench::BenchSpec spec{
+      "F5_faults",
+      "F5/F6: graceful degradation and recovery under injected faults",
+      "Claim: the loss-free model's bare one-round phases stop completing at "
+      "tiny message-loss rates; the ack/retry recovery wrapper extends "
+      "full-epoch survival to strictly higher loss, heals partitions within "
+      "one backoff cap, and crash-stopped members rejoin with fresh ids."};
+  return bench::bench_main(argc, argv, spec, [](bench::Context& ctx) {
+    // --- F5: loss-rate crossover, bare vs reliable epochs -----------------
+    const std::vector<LossCell> losses{{0.0},  {0.001}, {0.005},
+                                       {0.01}, {0.02},  {0.05}};
+    support::Table loss_table({"loss", "bare ok", "reliable ok", "bare rds",
+                               "rel rds", "dropped"});
+    const auto loss_means = bench::sweep(
+        ctx, loss_table, losses,
+        {"bare_epochs_ok", "reliable_epochs_ok", "bare_rounds",
+         "reliable_rounds", "messages_dropped"},
+        [](const LossCell& cell) {
+          return "loss=" + support::Table::num(cell.loss, 3);
+        },
+        [&](const LossCell& cell, runtime::TrialContext& trial) {
+          const std::uint64_t overlay_seed = trial.derive_seed();
+          const auto bare = run_overlay_epochs(cell.loss, 0, overlay_seed,
+                                               trial.rng.split(1));
+          const auto reliable = run_overlay_epochs(
+              cell.loss, kSettleRounds, overlay_seed, trial.rng.split(2));
+          return std::vector<double>{bare.epochs_ok, reliable.epochs_ok,
+                                     bare.rounds, reliable.rounds,
+                                     bare.lost + reliable.lost};
+        },
+        [&](const LossCell& cell, const std::vector<double>& mean) {
+          const int digits = ctx.reps > 1 ? 2 : 0;
+          return std::vector<std::string>{
+              support::Table::num(cell.loss, 3),
+              support::Table::num(mean[0], digits) + "/" +
+                  support::Table::num(kEpochs),
+              support::Table::num(mean[1], digits) + "/" +
+                  support::Table::num(kEpochs),
+              support::Table::num(mean[2], digits),
+              support::Table::num(mean[3], digits),
+              support::Table::num(mean[4], 0)};
+        });
+    ctx.show("loss_crossover", loss_table);
+
+    // The crossover: the largest swept loss rate at which >= 90% of epochs
+    // completed, per mode. The 90% (rather than 100%) threshold absorbs the
+    // paper's own w.h.p. residue — even a loss-free epoch occasionally runs
+    // the sampler dry at n = 64 and retries. Strictly higher for reliable is
+    // the claim under test.
+    const double survivable = 0.9 * kEpochs;
+    double bare_pstar = -1.0;
+    double reliable_pstar = -1.0;
+    for (std::size_t i = 0; i < losses.size(); ++i) {
+      if (loss_means[i][0] >= survivable) {
+        bare_pstar = std::max(bare_pstar, losses[i].loss);
+      }
+      if (loss_means[i][1] >= survivable) {
+        reliable_pstar = std::max(reliable_pstar, losses[i].loss);
+      }
+    }
+    ctx.interpret("Loss crossover: bare epochs complete (>= 90%) up to p = " +
+                  support::Table::num(bare_pstar, 3) +
+                  ", reliable epochs up to p = " +
+                  support::Table::num(reliable_pstar, 3) +
+                  " — the recovery wrapper strictly extends the survivable "
+                  "loss range (at the cost of extra settle rounds).");
+    if (reliable_pstar <= bare_pstar) {
+      std::cerr << "\nreliable epochs did not extend the survivable loss "
+                   "range\n";
+      return EXIT_FAILURE;
+    }
+
+    // --- F6a: partition-heal reconnect latency ----------------------------
+    // One reliable send crosses a cut that heals at tick H; capped binary
+    // exponential backoff bounds the reconnect overshoot by the cap.
+    const std::vector<HealCell> heals{{4}, {8}, {16}, {32}};
+    support::Table heal_table(
+        {"heal tick", "delivered", "overshoot", "retransmissions"});
+    const auto heal_means = bench::sweep(
+        ctx, heal_table, heals,
+        {"delivered_round", "overshoot_rounds", "retransmissions"},
+        [](const HealCell& cell) {
+          return "heal=" + support::Table::num(
+                               static_cast<std::int64_t>(cell.heal));
+        },
+        [&](const HealCell& cell, runtime::TrialContext& trial) {
+          fault::FaultPlan plan;
+          plan.with_partition({0, cell.heal, 1, 0});
+          fault::FaultInjector injector(plan, trial.rng.split(1));
+          fault::ReliableChannel<int> channel(nullptr, &injector);
+          channel.send(0, 1, 7, 16);
+          const sim::Round budget =
+              cell.heal + 2 * fault::kReliableBackoffCapRounds;
+          sim::Round delivered = -1;
+          while (channel.round() < budget) {
+            channel.step();
+            if (!channel.receive(1).empty() && delivered < 0) {
+              delivered = channel.round();
+            }
+            channel.receive(0);  // consume the ack
+            if (channel.pending_count() == 0) break;
+          }
+          return std::vector<double>{
+              static_cast<double>(delivered),
+              static_cast<double>(delivered - cell.heal),
+              static_cast<double>(channel.counters().retransmissions)};
+        },
+        [&](const HealCell& cell, const std::vector<double>& mean) {
+          return std::vector<std::string>{
+              support::Table::num(static_cast<std::int64_t>(cell.heal)),
+              support::Table::num(mean[0], 0), support::Table::num(mean[1], 0),
+              support::Table::num(mean[2], 0)};
+        });
+    ctx.show("partition_heal", heal_table);
+    for (std::size_t i = 0; i < heals.size(); ++i) {
+      const double overshoot = heal_means[i][1];
+      if (heal_means[i][0] < static_cast<double>(heals[i].heal) ||
+          overshoot >
+              static_cast<double>(fault::kReliableBackoffCapRounds) + 1.0) {
+        std::cerr << "\npartition reconnect exceeded the backoff-cap bound\n";
+        return EXIT_FAILURE;
+      }
+    }
+    ctx.interpret(
+        "Partition heal: delivery lands at most backoff_cap + 1 = " +
+        support::Table::num(
+            static_cast<std::int64_t>(fault::kReliableBackoffCapRounds + 1)) +
+        " rounds after the cut heals — capped exponential backoff bounds the "
+        "reconnect latency at every heal time.");
+
+    // --- F6b: crash-restart recovery --------------------------------------
+    // A transient crash window shorter than the settle budget is bridged by
+    // retransmission; a crash-stop fails the epoch gracefully and is repaired
+    // by the paper's own churn machinery (old id leaves, fresh id joins).
+    std::cout << "\nCrash recovery (Algorithm 3 on n = 16, d = 8):\n\n";
+    support::Table crash_table(
+        {"scenario", "epoch ok", "rounds", "crash_drops", "note"});
+    support::Rng recovery_rng(ctx.seed ^ 0xFA11u);
+    auto graph_rng = recovery_rng.split(1);
+    const auto graph = graph::HGraph::random(16, 8, graph_rng);
+    churn::ReconfigInput input;
+    input.topology = &graph;
+    for (std::size_t v = 0; v < 16; ++v) {
+      input.members.push_back(static_cast<sim::NodeId>(v));
+    }
+    input.leaving.assign(16, false);
+    input.joiners.assign(16, {});
+    input.sampling.c = 2.0;
+
+    // Crash-stop: node 5 is silenced forever; the epoch must fail, but
+    // gracefully — a failure report, never a corrupted topology.
+    fault::FaultPlan stop_plan;
+    stop_plan.with_crash({5, 0, -1});
+    fault::FaultInjector stop_injector(stop_plan, recovery_rng.split(2));
+    input.fault_hook = &stop_injector;
+    input.reliable_settle_rounds = kSettleRounds;
+    auto stop_rng = recovery_rng.split(3);
+    const auto crashed = churn::reconfigure(input, stop_rng);
+    crash_table.add_row(
+        {"crash-stop node 5", crashed.success ? "yes" : "no (graceful)",
+         support::Table::num(static_cast<std::int64_t>(crashed.rounds)),
+         support::Table::num(stop_injector.counters().crash_drops),
+         crashed.failure_reason});
+
+    // Transient outage: node 5 is down for ticks [14, 20) only — a window
+    // inside the reliable-wrapped placement/boundary/neighbor phases (the
+    // sampling phase, ticks 0-11 here, is unprotected: a mid-sampling outage
+    // fails the epoch like the crash-stop above). The settle loops
+    // retransmit past the window, so the epoch completes.
+    fault::FaultPlan window_plan;
+    window_plan.with_crash({5, 14, 20});
+    fault::FaultInjector window_injector(window_plan, recovery_rng.split(4));
+    input.fault_hook = &window_injector;
+    auto window_rng = recovery_rng.split(5);
+    const auto transient = churn::reconfigure(input, window_rng);
+    crash_table.add_row(
+        {"down ticks [14,20)", transient.success ? "yes" : "no",
+         support::Table::num(static_cast<std::int64_t>(transient.rounds)),
+         support::Table::num(window_injector.counters().crash_drops),
+         transient.success ? "outage bridged by retransmission"
+                           : transient.failure_reason});
+
+    // Rejoin: the crash-stopped node restarts with fresh state, so id 5
+    // leaves and the node re-enters via the join procedure with a fresh id.
+    // Epoch failures are w.h.p. events the protocol retries.
+    input.fault_hook = nullptr;
+    input.reliable_settle_rounds = 0;
+    input.leaving[5] = true;
+    input.joiners[2].push_back(500);
+    churn::ReconfigResult recovered;
+    int attempts = 0;
+    while (attempts < 5 && !recovered.success) {
+      ++attempts;
+      auto rejoin_rng = recovery_rng.split(10 + static_cast<std::uint64_t>(attempts));
+      recovered = churn::reconfigure(input, rejoin_rng);
+    }
+    const bool rejoined =
+        recovered.success &&
+        std::find(recovered.new_members.begin(), recovered.new_members.end(),
+                  500) != recovered.new_members.end() &&
+        std::find(recovered.new_members.begin(), recovered.new_members.end(),
+                  5) == recovered.new_members.end();
+    crash_table.add_row(
+        {"leave + fresh-id rejoin", recovered.success ? "yes" : "no",
+         support::Table::num(static_cast<std::int64_t>(recovered.rounds)),
+         "0",
+         rejoined ? "id 5 out, id 500 in (" +
+                        support::Table::num(attempts) + " attempt(s))"
+                  : "rejoin failed"});
+    ctx.show("crash_recovery", crash_table);
+    const std::vector<double> attempt_series{static_cast<double>(attempts)};
+    ctx.results->add_metric("crash_recovery", "rejoin_attempts",
+                            attempt_series);
+    if (crashed.success || !transient.success || !rejoined) {
+      std::cerr << "\ncrash recovery did not behave as claimed\n";
+      return EXIT_FAILURE;
+    }
+    ctx.interpret(
+        "Crash recovery: a permanent crash fails the epoch gracefully (old "
+        "topology kept); a 6-tick outage is absorbed by the settle loops; "
+        "and the crash-stopped member is repaired by the paper's own churn "
+        "path — its id leaves and the node rejoins under a fresh id.");
+    return EXIT_SUCCESS;
+  });
+}

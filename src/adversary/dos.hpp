@@ -8,7 +8,7 @@
 #include <memory>
 #include <span>
 
-#include "sim/bus.hpp"
+#include "sim/blocked.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 #include "support/rng.hpp"

@@ -160,8 +160,7 @@ void KaryGroupedOverlay::advance_round(const Attack& attack,
                  static_cast<double>(available) /
                      static_cast<double>(members.size()));
   }
-  if (!graph::is_connected_excluding(all_nodes(), overlay_edges(),
-                                     blocked.ids())) {
+  if (!graph::is_connected_excluding(all_nodes(), overlay_edges(), blocked)) {
     ++report.disconnected_rounds;
   }
   blocked_prev_ = std::move(blocked);

@@ -17,7 +17,7 @@
 #include "adversary/dos.hpp"
 #include "graph/kary_hypercube.hpp"
 #include "sampling/schedule.hpp"
-#include "sim/bus.hpp"
+#include "sim/blocked.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 #include "support/rng.hpp"

@@ -302,17 +302,29 @@ std::vector<Violation> check_supergroups(const combined::SuperGroups& super,
 std::vector<Violation> check_round_conservation(const sim::RoundWork& round) {
   std::vector<Violation> out;
   const std::string prefix = "round " + std::to_string(round.round) + ": ";
-  if (round.total_messages > round.sent_messages) {
+  // Messages entering this round boundary: handed to the bus this round,
+  // created by the fault hook as duplicates, or released from the delay
+  // queue. Deliveries beyond that total are phantoms.
+  const std::uint64_t entered = round.sent_messages +
+                                round.duplicated_messages +
+                                round.released_messages;
+  if (round.total_messages > entered) {
     add(out, "bus.conservation",
         prefix + std::to_string(round.total_messages) +
-            " messages delivered but only " +
-            std::to_string(round.sent_messages) + " sent");
+            " messages delivered but only " + std::to_string(entered) +
+            " entered the round (sent + duplicated + released)");
   }
-  if (round.total_messages + round.dropped_messages != round.sent_messages) {
+  if (round.total_messages + round.dropped_messages + round.injected_drops +
+          round.deferred_messages !=
+      entered) {
     add(out, "bus.conservation",
         prefix + "delivered (" + std::to_string(round.total_messages) +
             ") + dropped (" + std::to_string(round.dropped_messages) +
-            ") != sent (" + std::to_string(round.sent_messages) + ")");
+            ") + injected drops (" + std::to_string(round.injected_drops) +
+            ") + deferred (" + std::to_string(round.deferred_messages) +
+            ") != sent (" + std::to_string(round.sent_messages) +
+            ") + duplicated (" + std::to_string(round.duplicated_messages) +
+            ") + released (" + std::to_string(round.released_messages) + ")");
   }
   return out;
 }
@@ -328,10 +340,45 @@ std::vector<Violation> check_bus_conservation(const sim::WorkMeter& meter) {
   return out;
 }
 
+std::vector<Violation> check_no_phantom_deliveries(
+    const sim::WorkMeter& meter) {
+  std::vector<Violation> out;
+  for (const auto& round : meter.history()) {
+    const std::uint64_t entered = round.sent_messages +
+                                  round.duplicated_messages +
+                                  round.released_messages;
+    if (round.total_messages > entered) {
+      add(out, "bus.phantom",
+          "round " + std::to_string(round.round) + ": " +
+              std::to_string(round.total_messages) +
+              " messages delivered but only " + std::to_string(entered) +
+              " entered the round");
+    }
+    if (out.size() >= kMaxViolations) break;
+  }
+  return out;
+}
+
+std::vector<Violation> check_at_most_once(std::span<const DeliveryRecord> log) {
+  std::vector<Violation> out;
+  // (receiver, seq) pairs in delivery order; within one channel the sequence
+  // number is globally unique, so a repeat means dedup failed.
+  std::set<std::pair<sim::NodeId, std::uint64_t>> seen;
+  for (const auto& record : log) {
+    if (!seen.insert({record.receiver, record.seq}).second) {
+      add(out, "fault.at_most_once",
+          "receiver " + std::to_string(record.receiver) +
+              " accepted sequence number " + std::to_string(record.seq) +
+              " (from " + std::to_string(record.sender) + ") twice");
+      if (out.size() >= kMaxViolations) break;
+    }
+  }
+  return out;
+}
+
 std::vector<Violation> check_blocking_rule(
-    sim::NodeId from, sim::NodeId to,
-    const std::unordered_set<sim::NodeId>& blocked_sending,
-    const std::unordered_set<sim::NodeId>& blocked_delivery) {
+    sim::NodeId from, sim::NodeId to, const sim::BlockedSet& blocked_sending,
+    const sim::BlockedSet& blocked_delivery) {
   std::vector<Violation> out;
   if (blocked_sending.contains(from)) {
     add(out, "bus.blocking",
@@ -355,7 +402,7 @@ std::vector<Violation> check_blocking_rule(
 }
 
 std::vector<Violation> check_blocked_budget(
-    const std::unordered_set<sim::NodeId>& blocked, std::size_t budget,
+    const sim::BlockedSet& blocked, std::size_t budget,
     std::span<const sim::NodeId> universe) {
   const std::unordered_set<sim::NodeId> known(universe.begin(),
                                               universe.end());
@@ -363,7 +410,7 @@ std::vector<Violation> check_blocked_budget(
 }
 
 std::vector<Violation> check_blocked_budget(
-    const std::unordered_set<sim::NodeId>& blocked, std::size_t budget,
+    const sim::BlockedSet& blocked, std::size_t budget,
     const std::unordered_set<sim::NodeId>& known_ids) {
   std::vector<Violation> out;
   if (blocked.size() > budget) {
@@ -371,9 +418,9 @@ std::vector<Violation> check_blocked_budget(
         "adversary blocked " + std::to_string(blocked.size()) +
             " nodes, exceeding its budget of " + std::to_string(budget));
   }
-  // Sorted extraction so the reported node (and thus the AuditError text)
-  // is the same on every standard library, not whichever bucket comes first.
-  for (sim::NodeId node : support::sorted(blocked)) {
+  // sorted_ids() so the reported node (and thus the AuditError text) is the
+  // same on every standard library, not whichever bucket comes first.
+  for (sim::NodeId node : blocked.sorted_ids()) {
     if (!known_ids.contains(node)) {
       add(out, "adversary.budget",
           "adversary blocked node " + std::to_string(node) +

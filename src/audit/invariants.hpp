@@ -24,6 +24,7 @@
 
 #include "audit/audit.hpp"
 #include "combined/labels.hpp"
+#include "sim/blocked.hpp"
 #include "sim/types.hpp"
 
 namespace reconfnet::graph {
@@ -109,10 +110,13 @@ inline constexpr double kGroupSizeHiFactor = 6.0;
 [[nodiscard]] std::vector<Violation> check_supergroups(
     const combined::SuperGroups& super, double c);
 
-// --- Bus conservation (Section 1.1) ----------------------------------------
+// --- Bus conservation (Section 1.1, extended for fault injection) ----------
 
-/// Conservation for one finished round: delivered <= sent and
-/// delivered + dropped == sent.
+/// Conservation for one finished round: every message entering the round
+/// boundary (sent + hook-duplicated + released from the delay queue) is
+/// delivered, dropped by the blocking rule, dropped by the fault hook, or
+/// deferred — and deliveries never exceed the messages that entered. With the
+/// fault counters at zero this is the paper's delivered + dropped == sent.
 [[nodiscard]] std::vector<Violation> check_round_conservation(
     const sim::RoundWork& round);
 
@@ -120,20 +124,41 @@ inline constexpr double kGroupSizeHiFactor = 6.0;
 [[nodiscard]] std::vector<Violation> check_bus_conservation(
     const sim::WorkMeter& meter);
 
+/// No phantom deliveries: in no round does the number of delivered messages
+/// exceed the number that legitimately entered its boundary (sent, duplicated
+/// by the hook, or released from the delay queue). Message loss alone can
+/// never raise the delivered count.
+[[nodiscard]] std::vector<Violation> check_no_phantom_deliveries(
+    const sim::WorkMeter& meter);
+
 /// The Section 1.1 blocking rule for one *delivered* message: the sender must
 /// be non-blocked in the sending round and the receiver non-blocked in both
-/// the sending and the delivery round.
+/// the sending and the delivery round. Takes BlockedSet (membership queries
+/// only) so no caller has to expose raw unordered state.
 [[nodiscard]] std::vector<Violation> check_blocking_rule(
-    sim::NodeId from, sim::NodeId to,
-    const std::unordered_set<sim::NodeId>& blocked_sending,
-    const std::unordered_set<sim::NodeId>& blocked_delivery);
+    sim::NodeId from, sim::NodeId to, const sim::BlockedSet& blocked_sending,
+    const sim::BlockedSet& blocked_delivery);
+
+// --- Recovery-protocol contract (fault::ReliableChannel, DESIGN.md §10) ----
+
+/// One accepted (post-deduplication) delivery of a reliable-channel message.
+struct DeliveryRecord {
+  sim::NodeId receiver = sim::kNoNode;
+  sim::NodeId sender = sim::kNoNode;
+  std::uint64_t seq = 0;  ///< channel-unique sequence number
+};
+
+/// At-most-once delivery under duplication + dedup: no sequence number is
+/// accepted twice by the same receiver.
+[[nodiscard]] std::vector<Violation> check_at_most_once(
+    std::span<const DeliveryRecord> log);
 
 // --- Adversary contract ----------------------------------------------------
 
 /// An r-bounded adversary may never block more nodes than its budget, and
 /// only nodes that exist (Section 1.1).
 [[nodiscard]] std::vector<Violation> check_blocked_budget(
-    const std::unordered_set<sim::NodeId>& blocked, std::size_t budget,
+    const sim::BlockedSet& blocked, std::size_t budget,
     std::span<const sim::NodeId> universe);
 
 /// Same contract with the known id space given as a set. Under churn a
@@ -141,7 +166,7 @@ inline constexpr double kGroupSizeHiFactor = 6.0;
 /// since left, so the combined overlay audits against the ever-member set
 /// (ids are never reused, Section 1.1) rather than the current members.
 [[nodiscard]] std::vector<Violation> check_blocked_budget(
-    const std::unordered_set<sim::NodeId>& blocked, std::size_t budget,
+    const sim::BlockedSet& blocked, std::size_t budget,
     const std::unordered_set<sim::NodeId>& known_ids);
 
 }  // namespace reconfnet::audit

@@ -48,7 +48,8 @@ std::size_t largest_empty_segment(const std::vector<std::size_t>& succ,
 ActiveSearchResult find_active_neighbors(const std::vector<std::size_t>& succ,
                                          const std::vector<bool>& active,
                                          int max_steps,
-                                         sim::WorkMeter* meter) {
+                                         sim::WorkMeter* meter,
+                                         sim::DeliveryHook* fault_hook) {
   const std::size_t n = succ.size();
   if (active.size() != n) {
     throw std::invalid_argument("find_active_neighbors: size mismatch");
@@ -66,6 +67,7 @@ ActiveSearchResult find_active_neighbors(const std::vector<std::size_t>& succ,
   const std::uint64_t reply_bits = 2 + sim::id_bits(n - 1);
 
   sim::Bus<Msg> bus(meter);
+  bus.set_fault_hook(fault_hook);
   for (int step = 0; step < max_steps; ++step) {
     // Query round: each node still searching asks its current pointer.
     std::size_t queries = 0;
@@ -82,9 +84,12 @@ ActiveSearchResult find_active_neighbors(const std::vector<std::size_t>& succ,
     }
     if (queries == 0) break;
     bus.step();
-    // Reply round: answer with own activity and current pointer.
+    // Reply round: answer with own activity and current pointer. A faulty
+    // bus can deliver duplicated or delayed traffic off-phase, so only
+    // queries are answered here.
     for (std::size_t u = 0; u < n; ++u) {
       for (const auto& envelope : bus.inbox(u)) {
+        if (!envelope.payload.is_query) continue;
         const bool forward = envelope.payload.forward;
         const auto& dir = forward ? fwd : bwd;
         bus.send(u, envelope.from, Msg{false, forward, active[u], dir.ptr[u]},
@@ -94,7 +99,10 @@ ActiveSearchResult find_active_neighbors(const std::vector<std::size_t>& succ,
     bus.step();
     for (std::size_t v = 0; v < n; ++v) {
       for (const auto& envelope : bus.inbox(v)) {
+        if (envelope.payload.is_query) continue;  // delayed query: re-asked
         auto& dir = envelope.payload.forward ? fwd : bwd;
+        // A stale duplicate reply must not regress a finished direction.
+        if (dir.result[v] != kNoIndex) continue;
         if (envelope.payload.sender_active) {
           dir.result[v] = envelope.from;
         } else {

@@ -13,6 +13,10 @@
 #include "sim/metrics.hpp"
 #include "sim/types.hpp"
 
+namespace reconfnet::sim {
+class DeliveryHook;
+}  // namespace reconfnet::sim
+
 namespace reconfnet::churn {
 
 inline constexpr std::size_t kNoIndex = std::numeric_limits<std::size_t>::max();
@@ -33,10 +37,14 @@ struct ActiveSearchResult {
 /// Performs at most `max_steps` doubling steps (each costs two communication
 /// rounds: query + reply); stops early once every node is done. If no node
 /// is active the search fails. Work is accounted to `meter` if non-null.
+/// A fault hook makes delivery lossy; lost queries are re-asked on the next
+/// doubling step, so faults cost extra steps rather than wrong answers.
 ActiveSearchResult find_active_neighbors(const std::vector<std::size_t>& succ,
                                          const std::vector<bool>& active,
                                          int max_steps,
-                                         sim::WorkMeter* meter = nullptr);
+                                         sim::WorkMeter* meter = nullptr,
+                                         sim::DeliveryHook* fault_hook =
+                                             nullptr);
 
 /// Ground-truth largest empty segment of the cycle (for tests and stats).
 std::size_t largest_empty_segment(const std::vector<std::size_t>& succ,

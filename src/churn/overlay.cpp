@@ -101,6 +101,8 @@ ChurnOverlay::EpochReport ChurnOverlay::run_epoch(
       std::max<std::size_t>(members_.size() + join_count, 4),
       config_.size_estimate_slack);
   input.active_search_steps = config_.active_search_steps;
+  input.fault_hook = config_.fault_hook;
+  input.reliable_settle_rounds = config_.reliable_settle_rounds;
 
   auto epoch_rng = rng_.split(static_cast<std::uint64_t>(round_) + 17);
   auto result = reconfigure(input, epoch_rng);

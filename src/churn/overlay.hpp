@@ -30,6 +30,11 @@ class ChurnOverlay {
     int size_estimate_slack = 0;
     int active_search_steps = 24;
     std::uint64_t seed = 1;
+    /// Optional fault-injection hook forwarded to every bus of every epoch.
+    sim::DeliveryHook* fault_hook = nullptr;
+    /// Settle budget forwarded to ReconfigInput::reliable_settle_rounds; 0
+    /// runs the paper's bare one-round phases.
+    sim::Round reliable_settle_rounds = 0;
   };
 
   struct EpochReport {

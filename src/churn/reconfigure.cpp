@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "churn/active_search.hpp"
+#include "fault/reliable_channel.hpp"
 #include "sampling/hgraph_sampler.hpp"
 #include "sampling/plain_walk.hpp"
 #include "sim/bus.hpp"
@@ -42,6 +43,33 @@ ReconfigResult fail(std::string reason, sim::Round rounds,
   result.rounds = rounds;
   result.max_node_bits_per_round = work;
   return result;
+}
+
+/// Drives one reliable phase to quiescence: step, drain every receiver's
+/// inbox, repeat until no send awaits an ack or the budget is spent, then
+/// flush any acks still queued so the shared WorkMeter's per-round accounts
+/// balance. Undelivered data past the budget is simply lost; the assembly
+/// validation downstream turns that into the usual epoch failure.
+template <typename Payload, typename OnReceive>
+sim::Round settle(fault::ReliableChannel<Payload>& channel,
+                  const std::vector<sim::NodeId>& receivers,
+                  sim::Round budget, OnReceive&& on_receive) {
+  sim::Round used = 0;
+  while (true) {
+    channel.step();
+    ++used;
+    for (const sim::NodeId node : receivers) {
+      for (auto& envelope : channel.receive(node)) {
+        on_receive(envelope.to, std::move(envelope.payload));
+      }
+    }
+    if (channel.pending_count() == 0 || used >= budget) break;
+  }
+  if (channel.queued() > 0) {
+    channel.step();
+    ++used;
+  }
+  return used;
 }
 
 }  // namespace
@@ -111,7 +139,8 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
   } else {
     for (std::size_t instance = 0; instance < instances; ++instance) {
       auto instance_rng = rng.split(instance);
-      const auto run = run_hgraph_sampling(graph, schedule, instance_rng);
+      const auto run =
+          run_hgraph_sampling(graph, schedule, instance_rng, input.fault_hook);
       sampling_rounds = std::max(sampling_rounds, run.rounds);
       max_bits += run.max_node_bits_per_round;  // parallel instances add up
       if (!run.success) {
@@ -125,8 +154,20 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
   }
   rounds += sampling_rounds;
 
-  // --- Phase 1: send ids to sampled targets (one round) --------------------
+  // Reliable mode: the one-round phases below retransmit under a
+  // ReliableChannel until acked or the settle budget runs out.
+  const bool reliable = input.reliable_settle_rounds > 0;
+  // Dense receiver list shared by the reliable phases: data flows between
+  // old-member indices in phases 1 and 3b, and acks always return to them.
+  std::vector<sim::NodeId> indices(n);
+  for (std::size_t v = 0; v < n; ++v) indices[v] = v;
+
+  // --- Phase 1: send ids to sampled targets (one round bare; a reliable
+  // epoch spends settle rounds collecting acks) -----------------------------
+  std::vector<std::vector<PlaceMsg>> place_msgs(n);
   sim::Bus<PlaceMsg> place_bus(&meter);
+  place_bus.set_fault_hook(input.fault_hook);
+  fault::ReliableChannel<PlaceMsg> place_channel(&meter, input.fault_hook);
   {
     std::vector<std::size_t> cursor(n, 0);
     for (std::size_t v = 0; v < n; ++v) {
@@ -136,13 +177,31 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
             return fail("sample pool exhausted", rounds, max_bits);
           }
           const std::size_t target = sample_pool[v][cursor[v]++];
-          place_bus.send(v, target, PlaceMsg{c, id},
-                         node_id_bits + sim::id_bits(n - 1));
+          if (reliable) {
+            place_channel.send(v, target, PlaceMsg{c, id},
+                               node_id_bits + sim::id_bits(n - 1));
+          } else {
+            place_bus.send(v, target, PlaceMsg{c, id},
+                           node_id_bits + sim::id_bits(n - 1));
+          }
         }
       }
     }
-    place_bus.step();
-    rounds += 1;
+    if (reliable) {
+      rounds += settle(place_channel, indices, input.reliable_settle_rounds,
+                       [&](sim::NodeId to, PlaceMsg msg) {
+                         place_msgs[static_cast<std::size_t>(to)].push_back(
+                             msg);
+                       });
+    } else {
+      place_bus.step();
+      rounds += 1;
+      for (std::size_t v = 0; v < n; ++v) {
+        for (const auto& envelope : place_bus.inbox(v)) {
+          place_msgs[v].push_back(envelope.payload);
+        }
+      }
+    }
   }
 
   // --- Phase 2: collect and permute (local) --------------------------------
@@ -153,9 +212,8 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
   std::vector<CycleStats> cycle_stats(static_cast<std::size_t>(cycles));
   for (std::size_t v = 0; v < n; ++v) {
     auto node_rng = rng.split(0x1000000 + v);
-    for (const auto& envelope : place_bus.inbox(v)) {
-      permuted[static_cast<std::size_t>(envelope.payload.cycle)][v].push_back(
-          envelope.payload.id);
+    for (const PlaceMsg& msg : place_msgs[v]) {
+      permuted[static_cast<std::size_t>(msg.cycle)][v].push_back(msg.id);
     }
     for (int c = 0; c < cycles; ++c) {
       auto& bucket = permuted[static_cast<std::size_t>(c)][v];
@@ -182,8 +240,9 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
       succ[v] = graph.succ(c, v);
       active[v] = !permuted[static_cast<std::size_t>(c)][v].empty();
     }
-    auto search = find_active_neighbors(succ, active,
-                                        input.active_search_steps, &meter);
+    auto search =
+        find_active_neighbors(succ, active, input.active_search_steps, &meter,
+                              input.fault_hook);
     if (!search.success) {
       return fail("active-neighbor search exhausted its budget",
                   rounds + search.rounds, max_bits);
@@ -197,6 +256,9 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
 
   // --- Phase 3b: exchange boundary elements (one round) --------------------
   sim::Bus<BoundaryMsg> boundary_bus(&meter);
+  boundary_bus.set_fault_hook(input.fault_hook);
+  fault::ReliableChannel<BoundaryMsg> boundary_channel(&meter,
+                                                       input.fault_hook);
   for (int c = 0; c < cycles; ++c) {
     const auto& search = searches[static_cast<std::size_t>(c)];
     for (std::size_t v = 0; v < n; ++v) {
@@ -204,32 +266,69 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
       if (bucket.empty()) continue;
       // Our u_m goes to the closest active successor (as their u_0); our u_1
       // goes to the closest active predecessor (as their u_{m+1}).
-      boundary_bus.send(v, search.next_active[v],
-                        BoundaryMsg{c, true, bucket.back()}, node_id_bits);
-      boundary_bus.send(v, search.prev_active[v],
-                        BoundaryMsg{c, false, bucket.front()}, node_id_bits);
+      if (reliable) {
+        boundary_channel.send(v, search.next_active[v],
+                              BoundaryMsg{c, true, bucket.back()},
+                              node_id_bits);
+        boundary_channel.send(v, search.prev_active[v],
+                              BoundaryMsg{c, false, bucket.front()},
+                              node_id_bits);
+      } else {
+        boundary_bus.send(v, search.next_active[v],
+                          BoundaryMsg{c, true, bucket.back()}, node_id_bits);
+        boundary_bus.send(v, search.prev_active[v],
+                          BoundaryMsg{c, false, bucket.front()}, node_id_bits);
+      }
     }
   }
-  boundary_bus.step();
-  rounds += 1;
 
   std::vector<std::vector<sim::NodeId>> u0(static_cast<std::size_t>(cycles)),
       u_next(static_cast<std::size_t>(cycles));
   for (auto& per_cycle : u0) per_cycle.assign(n, sim::kNoNode);
   for (auto& per_cycle : u_next) per_cycle.assign(n, sim::kNoNode);
-  for (std::size_t v = 0; v < n; ++v) {
-    for (const auto& envelope : boundary_bus.inbox(v)) {
-      const auto c = static_cast<std::size_t>(envelope.payload.cycle);
-      if (envelope.payload.from_predecessor) {
-        u0[c][v] = envelope.payload.id;
-      } else {
-        u_next[c][v] = envelope.payload.id;
+  const auto apply_boundary = [&](sim::NodeId to, const BoundaryMsg& msg) {
+    const auto c = static_cast<std::size_t>(msg.cycle);
+    const auto v = static_cast<std::size_t>(to);
+    if (msg.from_predecessor) {
+      u0[c][v] = msg.id;
+    } else {
+      u_next[c][v] = msg.id;
+    }
+  };
+  if (reliable) {
+    rounds += settle(boundary_channel, indices, input.reliable_settle_rounds,
+                     apply_boundary);
+  } else {
+    boundary_bus.step();
+    rounds += 1;
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const auto& envelope : boundary_bus.inbox(v)) {
+        apply_boundary(v, envelope.payload);
       }
     }
   }
 
+  // The new membership (deterministic placement order) is known before
+  // Phase 4 runs; building the index here lets the reliable arm bucket
+  // deliveries by new index as they arrive.
+  std::unordered_map<sim::NodeId, std::size_t> new_index;
+  std::vector<sim::NodeId> new_members;
+  for (std::size_t v = 0; v < n; ++v) {
+    for (sim::NodeId id : placements[v]) {
+      if (!new_index.emplace(id, new_members.size()).second) {
+        return fail("duplicate id placement", rounds, max_bits);
+      }
+      new_members.push_back(id);
+    }
+  }
+  const std::size_t new_n = new_members.size();
+
   // --- Phase 4: tell every placed id its new neighbors (one round) ---------
+  std::vector<std::vector<NeighborMsg>> neighbor_msgs(new_n);
   sim::Bus<NeighborMsg> neighbor_bus(&meter);
+  neighbor_bus.set_fault_hook(input.fault_hook);
+  fault::ReliableChannel<NeighborMsg> neighbor_channel(&meter,
+                                                       input.fault_hook);
   for (int c = 0; c < cycles; ++c) {
     for (std::size_t v = 0; v < n; ++v) {
       const auto& bucket = permuted[static_cast<std::size_t>(c)][v];
@@ -243,38 +342,52 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
             (i == 0) ? u0[cs][v] : bucket[i - 1];
         const sim::NodeId succ =
             (i + 1 == bucket.size()) ? u_next[cs][v] : bucket[i + 1];
-        neighbor_bus.send(v, bucket[i], NeighborMsg{c, pred, succ},
-                          2 * node_id_bits);
+        if (reliable) {
+          neighbor_channel.send(v, bucket[i], NeighborMsg{c, pred, succ},
+                                2 * node_id_bits);
+        } else {
+          neighbor_bus.send(v, bucket[i], NeighborMsg{c, pred, succ},
+                            2 * node_id_bits);
+        }
       }
     }
   }
-  neighbor_bus.step();
-  rounds += 1;
+  if (reliable) {
+    // Data lands on placed ids, acks return to the sender indices; the
+    // receiver list is the sorted union of both id spaces.
+    std::vector<sim::NodeId> receivers = indices;
+    receivers.insert(receivers.end(), new_members.begin(), new_members.end());
+    std::sort(receivers.begin(), receivers.end());
+    receivers.erase(std::unique(receivers.begin(), receivers.end()),
+                    receivers.end());
+    rounds += settle(neighbor_channel, receivers,
+                     input.reliable_settle_rounds,
+                     [&](sim::NodeId to, NeighborMsg msg) {
+                       const auto it = new_index.find(to);
+                       if (it != new_index.end()) {
+                         neighbor_msgs[it->second].push_back(msg);
+                       }
+                     });
+  } else {
+    neighbor_bus.step();
+    rounds += 1;
+    for (std::size_t index = 0; index < new_members.size(); ++index) {
+      for (const auto& envelope : neighbor_bus.inbox(new_members[index])) {
+        neighbor_msgs[index].push_back(envelope.payload);
+      }
+    }
+  }
 
   // --- Assemble and validate the new topology ------------------------------
-  // Collect every placed id and its successor per cycle from the Phase 4
-  // messages each id received.
-  std::unordered_map<sim::NodeId, std::size_t> new_index;
-  std::vector<sim::NodeId> new_members;
-  for (std::size_t v = 0; v < n; ++v) {
-    for (sim::NodeId id : placements[v]) {
-      if (!new_index.emplace(id, new_members.size()).second) {
-        return fail("duplicate id placement", rounds, max_bits);
-      }
-      new_members.push_back(id);
-    }
-  }
-  const std::size_t new_n = new_members.size();
+  // Each id fills its own successor-table cells from the Phase 4 messages it
+  // received; the walk follows the deterministic placement order.
   std::vector<std::vector<std::size_t>> succ_tables(
       static_cast<std::size_t>(cycles),
       std::vector<std::size_t>(new_n, kNoIndex));
-  // Walk the membership vector (deterministic placement order) rather than
-  // the unordered index map; each id fills its own successor-table cells.
   for (std::size_t index = 0; index < new_members.size(); ++index) {
-    const sim::NodeId id = new_members[index];
-    for (const auto& envelope : neighbor_bus.inbox(id)) {
-      const auto c = static_cast<std::size_t>(envelope.payload.cycle);
-      const auto succ_it = new_index.find(envelope.payload.succ);
+    for (const NeighborMsg& msg : neighbor_msgs[index]) {
+      const auto c = static_cast<std::size_t>(msg.cycle);
+      const auto succ_it = new_index.find(msg.succ);
       if (succ_it == new_index.end()) {
         return fail("successor references unknown id", rounds, max_bits);
       }

@@ -23,6 +23,10 @@
 #include "sim/types.hpp"
 #include "support/rng.hpp"
 
+namespace reconfnet::sim {
+class DeliveryHook;
+}  // namespace reconfnet::sim
+
 namespace reconfnet::churn {
 
 /// Inputs of one reconfiguration epoch.
@@ -44,6 +48,14 @@ struct ReconfigInput {
   /// distribution, Theta(log n) rounds instead of O(log log n) — the
   /// alternative the paper's introduction dismisses as too slow.
   bool use_plain_walk_sampling = false;
+  /// Optional fault-injection hook, attached to every bus the epoch drives
+  /// (sampling, placement, search, boundary, neighbor). Null = pristine.
+  sim::DeliveryHook* fault_hook = nullptr;
+  /// When positive, the one-round bus phases (1, 3b, 4) run over a
+  /// fault::ReliableChannel and may each spend up to this many rounds
+  /// retransmitting until every send is acked. Needs >= 2 to complete even a
+  /// loss-free data+ack exchange; 0 keeps the paper's bare one-round phases.
+  sim::Round reliable_settle_rounds = 0;
 };
 
 /// Per-cycle observations validating Lemmas 11 and 12.

@@ -131,7 +131,7 @@ void CombinedOverlay::advance_round(adversary::ChurnAdversary& churn,
     // since churned out (Section 1.1; ids are never reused).
     if (audit::enabled()) {
       audit::enforce(
-          audit::check_blocked_budget(blocked.ids(), budget, ever_members_));
+          audit::check_blocked_budget(blocked, budget, ever_members_));
     }
   }
   // Crashed members are silent forever, on top of any adversary budget.
@@ -159,8 +159,7 @@ void CombinedOverlay::advance_round(adversary::ChurnAdversary& churn,
   report.max_node_bits_per_round =
       std::max(report.max_node_bits_per_round, max_bits);
 
-  if (!graph::is_connected_excluding(super_.all_nodes(), edges_,
-                                     blocked.ids())) {
+  if (!graph::is_connected_excluding(super_.all_nodes(), edges_, blocked)) {
     ++report.disconnected_rounds;
   }
 

@@ -22,7 +22,7 @@
 #include "adversary/dos.hpp"
 #include "combined/split_merge.hpp"
 #include "sampling/schedule.hpp"
-#include "sim/bus.hpp"
+#include "sim/blocked.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 #include "support/rng.hpp"

@@ -165,6 +165,7 @@ NodeLevelReport run_node_level_epoch(
 
   sim::WorkMeter meter;
   sim::Bus<WireMsg> bus(&meter);
+  bus.set_fault_hook(config.fault_hook);
 
   static const sim::BlockedSet kNone;
   const auto blocked_at = [&](sim::Round r) -> const sim::BlockedSet& {

@@ -46,6 +46,8 @@ namespace reconfnet::dos {
 struct NodeLevelConfig {
   sampling::SamplingConfig sampling{};
   int size_estimate_slack = 0;
+  /// Optional fault-injection hook attached to the epoch's bus.
+  sim::DeliveryHook* fault_hook = nullptr;
 };
 
 struct NodeLevelReport {

@@ -70,7 +70,7 @@ void DosOverlay::advance_round(const Attack& attack,
     // and may only block existing nodes (Section 1.1).
     if (audit::enabled()) {
       audit::enforce(
-          audit::check_blocked_budget(blocked.ids(), budget, universe));
+          audit::check_blocked_budget(blocked, budget, universe));
     }
   }
 
@@ -103,8 +103,7 @@ void DosOverlay::advance_round(const Attack& attack,
       std::max(report.max_node_bits_per_round, max_bits);
 
   // Connectivity of the overlay restricted to non-blocked nodes.
-  if (!graph::is_connected_excluding(groups_.all_nodes(), edges_,
-                                     blocked.ids())) {
+  if (!graph::is_connected_excluding(groups_.all_nodes(), edges_, blocked)) {
     ++report.disconnected_rounds;
   }
 

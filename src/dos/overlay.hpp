@@ -19,7 +19,7 @@
 #include "adversary/dos.hpp"
 #include "dos/group_table.hpp"
 #include "sampling/schedule.hpp"
-#include "sim/bus.hpp"
+#include "sim/blocked.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 #include "support/rng.hpp"

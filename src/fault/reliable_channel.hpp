@@ -1,0 +1,193 @@
+// Reliable delivery on top of the lossy bus (DESIGN.md §10): an ack/timeout/
+// retry wrapper with capped binary exponential backoff (in rounds) and
+// receiver-side deduplication by sequence number. The paper's model never
+// loses messages, so the bare protocols have no retransmission story; the
+// overlays opt into this wrapper at their Bus edges when running under a
+// FaultPlan.
+//
+// Wire format (accounted against both endpoints' communication work):
+//   data: 1 kind bit + kReliableSeqBits sequence number + the payload bits
+//   ack:  1 kind bit + kReliableSeqBits sequence number
+// Sequence numbers are unique per channel instance, so dedup needs no
+// per-sender state. Every data receipt is (re-)acked — the previous ack may
+// itself have been lost — and duplicates are suppressed before the caller
+// sees them (at-most-once; audited by audit::check_at_most_once).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "audit/invariants.hpp"
+#include "fault/plan.hpp"
+#include "sim/bus.hpp"
+#include "sim/types.hpp"
+
+namespace reconfnet::fault {
+
+// Retry/ack constants, pinned by tools/protocheck/protocol.toml.
+inline constexpr std::uint64_t kReliableSeqBits = 32;
+inline constexpr std::uint64_t kReliableHeaderBits = 1 + kReliableSeqBits;
+inline constexpr std::uint64_t kReliableAckBits = 1 + kReliableSeqBits;
+inline constexpr sim::Round kReliableInitialTimeoutRounds = 2;
+inline constexpr sim::Round kReliableBackoffCapRounds = 16;
+
+/// Ack/retry wrapper around one Bus. The caller drives the same synchronous
+/// skeleton as a bare bus — receive(v) for every node, compute, send(...),
+/// step() — and the channel retransmits unacked messages underneath.
+template <typename Payload>
+class ReliableChannel {
+ public:
+  /// On-the-wire message: a data copy or an ack for one sequence number.
+  struct ReliableMsg {
+    bool is_ack = false;
+    std::uint64_t seq = 0;
+    Payload payload{};
+  };
+
+  struct Config {
+    sim::Round initial_timeout = kReliableInitialTimeoutRounds;
+    sim::Round backoff_cap = kReliableBackoffCapRounds;
+    int max_retries = 0;  ///< 0 = retry until acked
+  };
+
+  struct Counters {
+    std::uint64_t data_sent = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t duplicates_suppressed = 0;
+    std::uint64_t abandoned = 0;  ///< pendings dropped at max_retries
+  };
+
+ private:
+  /// One in-flight (sent, not yet acked) message.
+  struct Pending {
+    sim::NodeId from = sim::kNoNode;
+    sim::NodeId to = sim::kNoNode;
+    ReliableMsg wire{};
+    std::uint64_t bits = 0;      ///< full wire size, header included
+    sim::Round next_retry = 0;   ///< bus round at which to retransmit
+    sim::Round timeout = 0;      ///< current backoff interval
+    int retries = 0;
+  };
+
+  // State precedes the methods: the protocol-conformance checker
+  // (tools/protocheck) attributes send/inbox/step sites to the nearest
+  // preceding Bus binding.
+  sim::Bus<ReliableMsg> bus_;
+  Config config_;
+  /// seq -> in-flight send; ordered so the retransmit scan is deterministic.
+  std::map<std::uint64_t, Pending> pending_;
+  /// Sequence numbers accepted so far (lookup only, never iterated).
+  std::unordered_set<std::uint64_t> accepted_;
+  std::vector<audit::DeliveryRecord> delivery_log_;
+  std::uint64_t next_seq_ = 0;
+  Counters counters_;
+
+ public:
+  explicit ReliableChannel(sim::WorkMeter* meter = nullptr,
+                           sim::DeliveryHook* fault_hook = nullptr,
+                           Config config = {})
+      : bus_(meter), config_(config) {
+    bus_.set_fault_hook(fault_hook);
+  }
+
+  /// Queues one payload for reliable delivery. `payload_bits` is the bare
+  /// payload's wire size; the channel adds its header on top.
+  void send(sim::NodeId from, sim::NodeId to, Payload payload,
+            std::uint64_t payload_bits) {
+    const std::uint64_t data_bits = payload_bits + kReliableHeaderBits;
+    ReliableMsg wire;
+    wire.seq = next_seq_++;
+    wire.payload = std::move(payload);
+    Pending entry;
+    entry.from = from;
+    entry.to = to;
+    entry.wire = wire;
+    entry.bits = data_bits;
+    entry.next_retry = bus_.round() + config_.initial_timeout;
+    entry.timeout = config_.initial_timeout;
+    bus_.send(from, to, wire, data_bits);
+    ++counters_.data_sent;
+    pending_.emplace(entry.wire.seq, std::move(entry));
+  }
+
+  /// Drains `node`'s inbox: consumes acks, acks every data receipt, dedups,
+  /// and returns the newly accepted payloads in arrival order.
+  std::vector<sim::Envelope<Payload>> receive(sim::NodeId node) {
+    std::vector<sim::Envelope<Payload>> fresh;
+    for (const auto& envelope : bus_.inbox(node)) {
+      const ReliableMsg& wire = envelope.payload;
+      if (wire.is_ack) {
+        pending_.erase(wire.seq);
+        continue;
+      }
+      // Always ack, even duplicates: the previous ack may have been lost.
+      ReliableMsg ack;
+      ack.is_ack = true;
+      ack.seq = wire.seq;
+      bus_.send(node, envelope.from, ack, kReliableAckBits);
+      ++counters_.acks_sent;
+      if (!accepted_.insert(wire.seq).second) {
+        ++counters_.duplicates_suppressed;
+        continue;
+      }
+      ++counters_.delivered;
+      delivery_log_.push_back({node, envelope.from, wire.seq});
+      fresh.push_back({envelope.from, node, wire.payload});
+    }
+    return fresh;
+  }
+
+  /// Advances the round boundary: retransmits every in-flight message whose
+  /// timeout expired (doubling it, capped at backoff_cap), drops the ones
+  /// out of retries, then steps the underlying bus.
+  void step(const sim::BlockedSet& blocked_sending,
+            const sim::BlockedSet& blocked_delivery) {
+    std::vector<std::uint64_t> abandoned;
+    for (auto& [seq, entry] : pending_) {
+      if (entry.next_retry > bus_.round()) continue;
+      if (config_.max_retries > 0 && entry.retries >= config_.max_retries) {
+        abandoned.push_back(seq);
+        continue;
+      }
+      ++entry.retries;
+      ++counters_.retransmissions;
+      entry.timeout = std::min(entry.timeout * 2, config_.backoff_cap);
+      entry.next_retry = bus_.round() + entry.timeout;
+      bus_.send(entry.from, entry.to, entry.wire, entry.bits);
+    }
+    for (const std::uint64_t seq : abandoned) {
+      pending_.erase(seq);
+      ++counters_.abandoned;
+    }
+    if (audit::enabled()) {
+      audit::enforce(audit::check_at_most_once(delivery_log_));
+    }
+    bus_.step(blocked_sending, blocked_delivery);
+  }
+
+  /// Convenience for protocols that run without a DoS adversary.
+  void step() {
+    static const sim::BlockedSet kNone;
+    step(kNone, kNone);
+  }
+
+  /// In-flight messages still awaiting an ack.
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  /// Messages queued on the underlying bus for the current round.
+  [[nodiscard]] std::size_t queued() const { return bus_.pending(); }
+  [[nodiscard]] sim::Round round() const { return bus_.round(); }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// Accepted deliveries in order, for audit::check_at_most_once.
+  [[nodiscard]] const std::vector<audit::DeliveryRecord>& delivery_log()
+      const {
+    return delivery_log_;
+  }
+};
+
+}  // namespace reconfnet::fault

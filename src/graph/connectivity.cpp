@@ -89,6 +89,17 @@ bool is_connected_excluding(
   return components_of_id_graph(nodes, edges, excluded) <= 1;
 }
 
+bool is_connected_excluding(
+    std::span<const sim::NodeId> nodes,
+    std::span<const std::pair<sim::NodeId, sim::NodeId>> edges,
+    const sim::BlockedSet& excluded) {
+  // The sorted snapshot costs O(|blocked| log |blocked|); connectivity checks
+  // run once per round on sets bounded by the adversary budget.
+  const auto ids = excluded.sorted_ids();
+  const std::unordered_set<sim::NodeId> as_set(ids.begin(), ids.end());
+  return components_of_id_graph(nodes, edges, as_set) <= 1;
+}
+
 std::size_t count_components_excluding(
     std::span<const sim::NodeId> nodes,
     std::span<const std::pair<sim::NodeId, sim::NodeId>> edges,

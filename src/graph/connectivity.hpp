@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/blocked.hpp"
 #include "sim/types.hpp"
 
 namespace reconfnet::graph {
@@ -38,6 +39,13 @@ bool is_connected_excluding(
     std::span<const sim::NodeId> nodes,
     std::span<const std::pair<sim::NodeId, sim::NodeId>> edges,
     const std::unordered_set<sim::NodeId>& excluded);
+
+/// Same, excluding the adversary's BlockedSet directly (membership queries
+/// only — no caller has to expose the set's unordered storage).
+bool is_connected_excluding(
+    std::span<const sim::NodeId> nodes,
+    std::span<const std::pair<sim::NodeId, sim::NodeId>> edges,
+    const sim::BlockedSet& excluded);
 
 /// Number of connected components of a NodeId graph after removing `excluded`.
 std::size_t count_components_excluding(

@@ -82,7 +82,8 @@ struct WireMsg {
 
 HGraphSamplingResult run_hgraph_sampling(const graph::HGraph& graph,
                                          const Schedule& schedule,
-                                         support::Rng& rng) {
+                                         support::Rng& rng,
+                                         sim::DeliveryHook* fault_hook) {
   const std::size_t n = graph.size();
   const std::uint64_t bits_per_msg = 1 + sim::id_bits(n - 1);
 
@@ -95,6 +96,7 @@ HGraphSamplingResult run_hgraph_sampling(const graph::HGraph& graph,
 
   sim::WorkMeter meter;
   sim::Bus<WireMsg> bus(&meter);
+  bus.set_fault_hook(fault_hook);
 
   for (int i = 1; i <= schedule.iterations; ++i) {
     // Phase 2: every node sends its requests.
@@ -104,9 +106,11 @@ HGraphSamplingResult run_hgraph_sampling(const graph::HGraph& graph,
       }
     }
     bus.step();
-    // Phase 3: serve all requests that arrived.
+    // Phase 3: serve all requests that arrived. Under a fault hook a delayed
+    // response may land here too; only requests are served.
     for (auto& core : cores) {
       for (const auto& envelope : bus.inbox(core.self())) {
+        if (!envelope.payload.is_request) continue;
         const auto response = core.serve(envelope.payload.request);
         bus.send(core.self(), envelope.payload.request.requester,
                  WireMsg{false, {}, response}, bits_per_msg);
@@ -120,6 +124,7 @@ HGraphSamplingResult run_hgraph_sampling(const graph::HGraph& graph,
     // for downstream prefix consumers (e.g. Algorithm 3's sample pool).
     for (auto& core : cores) {
       for (const auto& envelope : bus.inbox(core.self())) {
+        if (envelope.payload.is_request) continue;  // delayed query: dropped
         core.accept(envelope.payload.response);
       }
       core.shuffle_multiset();

@@ -20,6 +20,10 @@
 #include "sim/types.hpp"
 #include "support/rng.hpp"
 
+namespace reconfnet::sim {
+class DeliveryHook;
+}  // namespace reconfnet::sim
+
 namespace reconfnet::sampling {
 
 /// An element of the multiset M: the endpoint of a random walk starting at
@@ -109,9 +113,12 @@ struct HGraphSamplingResult {
 
 /// Runs Algorithm 1 on every node of `graph` simultaneously and returns all
 /// samples. Drives the cores over a sim::Bus with full communication-work
-/// accounting.
+/// accounting. An optional fault hook makes delivery lossy; lost or delayed
+/// traffic surfaces as dry multisets (success = false), never wrong samples.
 HGraphSamplingResult run_hgraph_sampling(const graph::HGraph& graph,
                                          const Schedule& schedule,
-                                         support::Rng& rng);
+                                         support::Rng& rng,
+                                         sim::DeliveryHook* fault_hook =
+                                             nullptr);
 
 }  // namespace reconfnet::sampling

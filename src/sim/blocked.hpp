@@ -1,0 +1,44 @@
+// The DoS adversary's blocked set for one round (paper Section 1.1).
+//
+// The raw unordered storage is intentionally never exposed: callers either
+// query membership via contains() or take a sorted snapshot via sorted_ids(),
+// so hash-bucket iteration order can never leak into protocol decisions or
+// reported results (reconfnet-lint RNL005).
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "support/sorted.hpp"
+
+namespace reconfnet::sim {
+
+/// The set of nodes blocked by the DoS adversary in one round.
+class BlockedSet {
+ public:
+  BlockedSet() = default;
+  explicit BlockedSet(std::unordered_set<NodeId> blocked)
+      : blocked_(std::move(blocked)) {}
+
+  [[nodiscard]] bool contains(NodeId node) const {
+    return blocked_.contains(node);
+  }
+  [[nodiscard]] std::size_t size() const { return blocked_.size(); }
+  [[nodiscard]] bool empty() const { return blocked_.empty(); }
+
+  /// Deterministic snapshot of the blocked ids, ascending.
+  [[nodiscard]] std::vector<NodeId> sorted_ids() const {
+    return support::sorted(blocked_);
+  }
+
+  void insert(NodeId node) { blocked_.insert(node); }
+  void clear() { blocked_.clear(); }
+
+ private:
+  std::unordered_set<NodeId> blocked_;
+};
+
+}  // namespace reconfnet::sim

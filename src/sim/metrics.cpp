@@ -18,10 +18,22 @@ void WorkMeter::note_received(NodeId node, std::uint64_t bits) {
 
 void WorkMeter::note_dropped() { ++current_dropped_; }
 
+void WorkMeter::note_injected_drop() { ++current_injected_drops_; }
+
+void WorkMeter::note_duplicated() { ++current_duplicated_; }
+
+void WorkMeter::note_deferred() { ++current_deferred_; }
+
+void WorkMeter::note_released() { ++current_released_; }
+
 void WorkMeter::finish_round(Round round) {
   RoundWork agg;
   agg.round = round;
   agg.dropped_messages = current_dropped_;
+  agg.injected_drops = current_injected_drops_;
+  agg.duplicated_messages = current_duplicated_;
+  agg.deferred_messages = current_deferred_;
+  agg.released_messages = current_released_;
   // reconfnet-lint: allow(RNL005) commutative max/sum aggregation per round
   for (const auto& [node, work] : current_) {
     agg.max_node_bits = std::max(agg.max_node_bits, work.bits_total());
@@ -32,6 +44,10 @@ void WorkMeter::finish_round(Round round) {
   history_.push_back(agg);
   current_.clear();
   current_dropped_ = 0;
+  current_injected_drops_ = 0;
+  current_duplicated_ = 0;
+  current_deferred_ = 0;
+  current_released_ = 0;
 }
 
 std::uint64_t WorkMeter::max_node_bits_any_round() const {
@@ -51,6 +67,10 @@ std::uint64_t WorkMeter::total_bits() const {
 void WorkMeter::clear() {
   current_.clear();
   current_dropped_ = 0;
+  current_injected_drops_ = 0;
+  current_duplicated_ = 0;
+  current_deferred_ = 0;
+  current_released_ = 0;
   history_.clear();
 }
 

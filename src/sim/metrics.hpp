@@ -31,12 +31,26 @@ struct RoundWork {
   std::uint64_t total_bits = 0;       ///< sum over nodes
   std::uint64_t sent_messages = 0;    ///< messages handed to the bus
   std::uint64_t total_messages = 0;   ///< messages delivered
-  std::uint64_t dropped_messages = 0; ///< lost to blocking
+  std::uint64_t dropped_messages = 0; ///< lost to the blocking rule
+  // Fault-injection accounting (src/fault/, DESIGN.md §10). Injected losses
+  // are counted separately from blocking-rule drops so the audit layer can
+  // tell adversarial silence from environmental faults; all four stay zero
+  // when no DeliveryHook is attached.
+  std::uint64_t injected_drops = 0;      ///< dropped by the fault hook
+  std::uint64_t duplicated_messages = 0; ///< extra copies the hook created
+  std::uint64_t deferred_messages = 0;   ///< copies parked in the delay queue
+  std::uint64_t released_messages = 0;   ///< delayed copies leaving the queue
 
-  /// Bus conservation (Section 1.1): every sent message is either delivered
-  /// or dropped by the blocking rule, never both and never duplicated.
+  /// Bus conservation (Section 1.1, extended for fault injection): every
+  /// message entering a round boundary — sent this round, duplicated by the
+  /// hook, or released from the delay queue — is delivered, dropped by the
+  /// blocking rule, dropped by the hook, or deferred; never two of those and
+  /// never silently created. With the fault counters at zero this reduces to
+  /// the paper's delivered + dropped == sent.
   [[nodiscard]] bool conserved() const {
-    return total_messages + dropped_messages == sent_messages;
+    return total_messages + dropped_messages + injected_drops +
+               deferred_messages ==
+           sent_messages + duplicated_messages + released_messages;
   }
 };
 
@@ -48,6 +62,14 @@ class WorkMeter {
   void note_sent(NodeId node, std::uint64_t bits);
   void note_received(NodeId node, std::uint64_t bits);
   void note_dropped();
+
+  // Fault-injection events (see RoundWork): a copy dropped by the hook, an
+  // extra copy created by the hook, a copy parked in the bus delay queue,
+  // and a delayed copy leaving the queue at its delivery round.
+  void note_injected_drop();
+  void note_duplicated();
+  void note_deferred();
+  void note_released();
 
   /// Closes the current round: aggregates counters into the history and
   /// resets the per-node state.
@@ -71,6 +93,10 @@ class WorkMeter {
  private:
   std::unordered_map<NodeId, NodeWork> current_;
   std::uint64_t current_dropped_ = 0;
+  std::uint64_t current_injected_drops_ = 0;
+  std::uint64_t current_duplicated_ = 0;
+  std::uint64_t current_deferred_ = 0;
+  std::uint64_t current_released_ = 0;
   std::vector<RoundWork> history_;
 };
 

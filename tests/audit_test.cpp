@@ -247,8 +247,8 @@ TEST(AuditBus, FiresWhenDropsAreUnaccounted) {
 }
 
 TEST(AuditBus, BlockingRuleFiresForEachBlockedEndpoint) {
-  const std::unordered_set<sim::NodeId> sender_blocked = {1};
-  const std::unordered_set<sim::NodeId> receiver_blocked = {2};
+  const sim::BlockedSet sender_blocked({1});
+  const sim::BlockedSet receiver_blocked({2});
   EXPECT_TRUE(has_check(
       audit::check_blocking_rule(1, 2, sender_blocked, {}), "bus.blocking"));
   EXPECT_TRUE(has_check(
@@ -277,13 +277,13 @@ TEST(AuditBus, BusStepUnderAuditStaysSilentOnHealthyTraffic) {
 
 TEST(AuditAdversary, FiresOnBudgetOverrunAndUnknownNodes) {
   const auto universe = make_nodes(8);
-  const std::unordered_set<sim::NodeId> over = {0, 1, 2};
+  const sim::BlockedSet over({0, 1, 2});
   EXPECT_TRUE(has_check(audit::check_blocked_budget(over, 2, universe),
                         "adversary.budget"));
-  const std::unordered_set<sim::NodeId> unknown = {99};
+  const sim::BlockedSet unknown({99});
   EXPECT_TRUE(has_check(audit::check_blocked_budget(unknown, 4, universe),
                         "adversary.budget"));
-  const std::unordered_set<sim::NodeId> fine = {0, 1};
+  const sim::BlockedSet fine({0, 1});
   EXPECT_TRUE(audit::check_blocked_budget(fine, 2, universe).empty());
 }
 

@@ -218,16 +218,28 @@ TEST(Connectivity, ExcludingBlockedNodes) {
   // Path 1-2-3; blocking 2 disconnects it.
   const std::vector<sim::NodeId> nodes{1, 2, 3};
   const std::vector<std::pair<sim::NodeId, sim::NodeId>> edges{{1, 2}, {2, 3}};
-  EXPECT_TRUE(is_connected_excluding(nodes, edges, {}));
-  EXPECT_FALSE(is_connected_excluding(nodes, edges, {2}));
-  EXPECT_EQ(count_components_excluding(nodes, edges, {2}), 2u);
+  const std::unordered_set<sim::NodeId> none;
+  const std::unordered_set<sim::NodeId> middle{2};
+  const std::unordered_set<sim::NodeId> endpoint{1};
+  EXPECT_TRUE(is_connected_excluding(nodes, edges, none));
+  EXPECT_FALSE(is_connected_excluding(nodes, edges, middle));
+  EXPECT_EQ(count_components_excluding(nodes, edges, middle), 2u);
   // Blocking an endpoint keeps the rest connected.
-  EXPECT_TRUE(is_connected_excluding(nodes, edges, {1}));
+  EXPECT_TRUE(is_connected_excluding(nodes, edges, endpoint));
+}
+
+TEST(Connectivity, ExcludingBlockedSetMatchesRawSetOverload) {
+  const std::vector<sim::NodeId> nodes{1, 2, 3};
+  const std::vector<std::pair<sim::NodeId, sim::NodeId>> edges{{1, 2}, {2, 3}};
+  EXPECT_TRUE(is_connected_excluding(nodes, edges, sim::BlockedSet()));
+  EXPECT_FALSE(is_connected_excluding(nodes, edges, sim::BlockedSet({2})));
+  EXPECT_TRUE(is_connected_excluding(nodes, edges, sim::BlockedSet({1})));
 }
 
 TEST(Connectivity, AllNodesExcludedCountsAsConnected) {
   const std::vector<sim::NodeId> nodes{1, 2};
-  EXPECT_TRUE(is_connected_excluding(nodes, {}, {1, 2}));
+  const std::unordered_set<sim::NodeId> all{1, 2};
+  EXPECT_TRUE(is_connected_excluding(nodes, {}, all));
 }
 
 }  // namespace
