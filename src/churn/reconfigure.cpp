@@ -233,15 +233,17 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
   std::vector<ActiveSearchResult> searches;
   searches.reserve(static_cast<std::size_t>(cycles));
   sim::Round search_rounds = 0;
+  // Fully overwritten per cycle, so one buffer serves every iteration.
+  std::vector<std::size_t> cycle_succ(n);
+  std::vector<bool> cycle_active(n);
   for (int c = 0; c < cycles; ++c) {
-    std::vector<std::size_t> succ(n);
-    std::vector<bool> active(n);
     for (std::size_t v = 0; v < n; ++v) {
-      succ[v] = graph.succ(c, v);
-      active[v] = !permuted[static_cast<std::size_t>(c)][v].empty();
+      cycle_succ[v] = graph.succ(c, v);
+      cycle_active[v] = !permuted[static_cast<std::size_t>(c)][v].empty();
     }
     auto search =
-        find_active_neighbors(succ, active, input.active_search_steps, &meter,
+        find_active_neighbors(cycle_succ, cycle_active,
+                              input.active_search_steps, &meter,
                               input.fault_hook);
     if (!search.success) {
       return fail("active-neighbor search exhausted its budget",
@@ -310,11 +312,18 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
 
   // The new membership (deterministic placement order) is known before
   // Phase 4 runs; building the index here lets the reliable arm bucket
-  // deliveries by new index as they arrive.
+  // deliveries by new index as they arrive. The index maps arbitrary
+  // (sparse) surviving ids to dense new indices, so it cannot itself be an
+  // index-addressed table; it is built and queried once per reconfiguration,
+  // not per round.
   std::unordered_map<sim::NodeId, std::size_t> new_index;
   std::vector<sim::NodeId> new_members;
+  std::size_t placed_count = 0;
+  for (std::size_t v = 0; v < n; ++v) placed_count += placements[v].size();
+  new_members.reserve(placed_count);
   for (std::size_t v = 0; v < n; ++v) {
     for (sim::NodeId id : placements[v]) {
+      // reconfnet-hotcheck: allow(RNH403) per-reconfiguration sparse-id remap
       if (!new_index.emplace(id, new_members.size()).second) {
         return fail("duplicate id placement", rounds, max_bits);
       }
@@ -363,6 +372,7 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
     rounds += settle(neighbor_channel, receivers,
                      input.reliable_settle_rounds,
                      [&](sim::NodeId to, NeighborMsg msg) {
+                       // reconfnet-hotcheck: allow(RNH403) sparse-id remap
                        const auto it = new_index.find(to);
                        if (it != new_index.end()) {
                          neighbor_msgs[it->second].push_back(msg);
@@ -387,6 +397,7 @@ ReconfigResult reconfigure(const ReconfigInput& input, support::Rng& rng) {
   for (std::size_t index = 0; index < new_members.size(); ++index) {
     for (const NeighborMsg& msg : neighbor_msgs[index]) {
       const auto c = static_cast<std::size_t>(msg.cycle);
+      // reconfnet-hotcheck: allow(RNH403) sparse-id remap, once per reconfig
       const auto succ_it = new_index.find(msg.succ);
       if (succ_it == new_index.end()) {
         return fail("successor references unknown id", rounds, max_bits);

@@ -50,6 +50,9 @@ HypercubeSamplerCore::make_requests(int iteration, support::Rng& rng) {
   const int half = 1 << (iteration - 1);
   const std::size_t count = schedule_.m[static_cast<std::size_t>(iteration)];
   std::vector<std::pair<std::uint64_t, Request>> requests;
+  // Upper bound: `count` extractions from each of the blocks this iteration
+  // touches; extraction can run dry, so the actual size may be smaller.
+  requests.reserve(count * static_cast<std::size_t>(dimension_ / step + 1));
   for (int j = 1; j <= dimension_; j += step) {
     if (j + half > dimension_) continue;  // block already complete: keep it
     for (std::size_t k = 0; k < count; ++k) {

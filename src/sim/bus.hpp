@@ -16,7 +16,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -103,8 +102,11 @@ class Bus {
             const BlockedSet& blocked_delivery) {
     // Deterministic inbox turnover: only the inboxes that received a
     // delivery last round hold messages, and `touched_` lists exactly those,
-    // sorted — no iteration over the unordered map.
-    for (const NodeId node : touched_) inboxes_[node].clear();
+    // sorted. clear() keeps each vector's capacity, so steady-state rounds
+    // recycle every buffer (pinned by tests/allocbudget_test.cpp).
+    for (const NodeId node : touched_) {
+      inboxes_[static_cast<std::size_t>(node)].clear();
+    }
     touched_.clear();
     release_delayed(blocked_delivery);
     for (auto& [envelope, bits] : outbox_) {
@@ -151,9 +153,9 @@ class Bus {
 
   /// Messages delivered to `node` at the start of the current round.
   [[nodiscard]] std::span<const Envelope<Msg>> inbox(NodeId node) const {
-    auto it = inboxes_.find(node);
-    if (it == inboxes_.end()) return {};
-    return {it->second.data(), it->second.size()};
+    const auto index = static_cast<std::size_t>(node);
+    if (index >= inboxes_.size()) return {};
+    return {inboxes_[index].data(), inboxes_[index].size()};
   }
 
   /// Index of the current round (number of step() calls so far).
@@ -173,9 +175,13 @@ class Bus {
   };
 
   /// Appends a delivery to its inbox and the touched list, with metering.
+  /// Growing the inbox table is a one-time cost per new high NodeId (ids are
+  /// dense and monotonic, sim/types.hpp); steady state never resizes.
   void deliver(Envelope<Msg> envelope, std::uint64_t bits) {
     if (meter_ != nullptr) meter_->note_received(envelope.to, bits);
-    auto& inbox = inboxes_[envelope.to];
+    const auto index = static_cast<std::size_t>(envelope.to);
+    if (index >= inboxes_.size()) inboxes_.resize(index + 1);
+    auto& inbox = inboxes_[index];
     if (inbox.empty()) touched_.push_back(envelope.to);
     inbox.push_back(std::move(envelope));
   }
@@ -222,7 +228,7 @@ class Bus {
   void apply_reorder() {
     if (hook_ == nullptr) return;
     for (const NodeId node : touched_) {
-      auto& inbox = inboxes_[node];
+      auto& inbox = inboxes_[static_cast<std::size_t>(node)];
       perm_.clear();
       if (!hook_->reorder(node, round_, inbox.size(), perm_)) continue;
       if (perm_.size() != inbox.size()) continue;
@@ -236,7 +242,9 @@ class Bus {
   }
 
   std::vector<std::pair<Envelope<Msg>, std::uint64_t>> outbox_;
-  std::unordered_map<NodeId, std::vector<Envelope<Msg>>> inboxes_;
+  /// Index-addressed by NodeId (dense, monotonic — sim/types.hpp), grown on
+  /// demand in deliver(); cleared-not-shrunk so buffers recycle each round.
+  std::vector<std::vector<Envelope<Msg>>> inboxes_;
   /// Nodes whose inbox received a delivery in the round that just ended,
   /// sorted by id; the next step() clears exactly these.
   std::vector<NodeId> touched_;

@@ -4,14 +4,26 @@
 
 namespace reconfnet::sim {
 
+NodeWork& WorkMeter::slot(NodeId node) {
+  const auto index = static_cast<std::size_t>(node);
+  if (index >= current_.size()) current_.resize(index + 1);
+  NodeWork& work = current_[index];
+  // Every note_* call increments a message counter, so all-zero counters
+  // mean this is the node's first touch of the round.
+  if (work.messages_sent == 0 && work.messages_received == 0) {
+    touched_.push_back(node);
+  }
+  return work;
+}
+
 void WorkMeter::note_sent(NodeId node, std::uint64_t bits) {
-  auto& work = current_[node];
+  NodeWork& work = slot(node);
   work.bits_sent += bits;
   ++work.messages_sent;
 }
 
 void WorkMeter::note_received(NodeId node, std::uint64_t bits) {
-  auto& work = current_[node];
+  NodeWork& work = slot(node);
   work.bits_received += bits;
   ++work.messages_received;
 }
@@ -34,15 +46,19 @@ void WorkMeter::finish_round(Round round) {
   agg.duplicated_messages = current_duplicated_;
   agg.deferred_messages = current_deferred_;
   agg.released_messages = current_released_;
-  // reconfnet-lint: allow(RNL005) commutative max/sum aggregation per round
-  for (const auto& [node, work] : current_) {
+  // Aggregation is commutative (max and sums), so first-touch order is as
+  // good as any; resetting entries instead of erasing them keeps the table's
+  // storage across rounds.
+  for (const NodeId node : touched_) {
+    NodeWork& work = current_[static_cast<std::size_t>(node)];
     agg.max_node_bits = std::max(agg.max_node_bits, work.bits_total());
     agg.total_bits += work.bits_total();
     agg.sent_messages += work.messages_sent;
     agg.total_messages += work.messages_received;
+    work = NodeWork{};
   }
   history_.push_back(agg);
-  current_.clear();
+  touched_.clear();
   current_dropped_ = 0;
   current_injected_drops_ = 0;
   current_duplicated_ = 0;
@@ -66,6 +82,7 @@ std::uint64_t WorkMeter::total_bits() const {
 
 void WorkMeter::clear() {
   current_.clear();
+  touched_.clear();
   current_dropped_ = 0;
   current_injected_drops_ = 0;
   current_duplicated_ = 0;

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -91,7 +90,16 @@ class WorkMeter {
   void clear();
 
  private:
-  std::unordered_map<NodeId, NodeWork> current_;
+  /// Grows `current_` to cover `node` and returns its slot, recording first
+  /// touches of the round in `touched_`.
+  NodeWork& slot(NodeId node);
+
+  /// Index-addressed by NodeId (dense, monotonic — sim/types.hpp). Entries
+  /// are reset, not erased, at finish_round(), so the table and the
+  /// `touched_` scratch recycle their storage across rounds.
+  std::vector<NodeWork> current_;
+  /// Nodes with nonzero counters this round, in first-touch order.
+  std::vector<NodeId> touched_;
   std::uint64_t current_dropped_ = 0;
   std::uint64_t current_injected_drops_ = 0;
   std::uint64_t current_duplicated_ = 0;

@@ -1,0 +1,165 @@
+// Dynamic half of the hot-path allocation contract (the static half is
+// reconfnet_hotcheck; see tools/hotcheck/hotcheck.hpp). The budgets live in
+// tools/hotcheck/hotpaths.toml as [[budget]] entries, so the numbers the
+// checker's spec declares are the numbers this binary enforces at runtime —
+// editing a budget without keeping this suite green is caught in CI.
+//
+// This is the only binary that links reconfnet_alloccount (the counting
+// operator new/delete replacement, src/support/alloc_counter.cpp); every
+// other target keeps the toolchain allocator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversary/churn.hpp"
+#include "churn/overlay.hpp"
+#include "tools/hotcheck/hotcheck.hpp"
+#include "sim/bus.hpp"
+#include "sim/types.hpp"
+#include "support/alloc_counter.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet {
+namespace {
+
+// --- spec access ------------------------------------------------------------
+
+const hotcheck::Spec& spec() {
+  static const hotcheck::Spec kSpec = [] {
+    std::ifstream in(RECONFNET_HOTPATHS_TOML, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << "cannot read " << RECONFNET_HOTPATHS_TOML;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    hotcheck::Spec parsed;
+    std::string error;
+    EXPECT_TRUE(hotcheck::parse_spec(buffer.str(), parsed, error)) << error;
+    return parsed;
+  }();
+  return kSpec;
+}
+
+/// Fetches one integer key of one named [[budget]] entry; fails the test if
+/// either is missing (budget drift must be loud, not silently unbounded).
+std::uint64_t budget_value(const std::string& budget_name,
+                           const std::string& key) {
+  for (const hotcheck::BudgetSpec& budget : spec().budgets) {
+    if (budget.name != budget_name) continue;
+    auto it = budget.values.find(key);
+    if (it == budget.values.end()) break;
+    return std::stoull(it->second);
+  }
+  ADD_FAILURE() << "hotpaths.toml lacks budget " << budget_name << "." << key;
+  return 0;
+}
+
+// --- harness sanity ---------------------------------------------------------
+
+// Guards the link contract: if reconfnet_alloccount ever falls out of this
+// binary, every budget below would pass vacuously on zero deltas.
+TEST(AllocCounter, CountsAForcedAllocation) {
+  ASSERT_TRUE(support::alloc_counting_available());
+  support::AllocCounter scope;
+  std::vector<int>* spill = new std::vector<int>(1024, 7);
+  const support::AllocTotals mid = scope.delta();
+  EXPECT_GE(mid.allocations, 2u);  // the vector object and its buffer
+  EXPECT_GE(mid.bytes, 1024u * sizeof(int));
+  delete spill;
+  const support::AllocTotals done = scope.delta();
+  EXPECT_GE(done.deallocations, 2u);
+}
+
+// --- bus steady state -------------------------------------------------------
+
+struct PingPayload {
+  std::uint64_t token = 0;
+};
+
+/// Deterministic steady-state traffic: every node sends one message to its
+/// ring successor each round. After warmup every inbox and the outbox have
+/// seen their peak occupancy, so a well-behaved bus recycles every buffer.
+TEST(AllocBudget, BusSteadyStateRoundsAreAllocationFree) {
+  ASSERT_TRUE(support::alloc_counting_available());
+  const std::uint64_t n = budget_value("bus.steady_state", "n");
+  const std::uint64_t warmup = budget_value("bus.steady_state", "warmup_rounds");
+  const std::uint64_t rounds = budget_value("bus.steady_state", "rounds");
+  const std::uint64_t budget =
+      budget_value("bus.steady_state", "allocs_per_round");
+
+  sim::Bus<PingPayload> bus;
+  auto drive_round = [&](std::uint64_t round) {
+    for (std::uint64_t v = 0; v < n; ++v) {
+      // Touch the inbox first, as a protocol round would.
+      (void)bus.inbox(static_cast<sim::NodeId>(v)).size();
+      bus.send(static_cast<sim::NodeId>(v),
+               static_cast<sim::NodeId>((v + 1) % n),
+               PingPayload{round * n + v}, 64);
+    }
+    bus.step();
+  };
+
+  for (std::uint64_t r = 0; r < warmup; ++r) drive_round(r);
+
+  support::AllocCounter scope;
+  for (std::uint64_t r = 0; r < rounds; ++r) drive_round(warmup + r);
+  const support::AllocTotals used = scope.delta();
+  std::cout << "[ measured ] bus.steady_state: " << used.allocations
+            << " allocations over " << rounds << " rounds (budget "
+            << budget << "/round)\n";
+  EXPECT_LE(used.allocations, budget * rounds)
+      << "steady-state Bus rounds allocated " << used.allocations << " times ("
+      << used.bytes << " bytes) over " << rounds << " rounds";
+}
+
+// --- churn overlay steady epoch ---------------------------------------------
+
+/// A full overlay epoch at n=1024 with a zero-rate adversary: reconfiguration
+/// runs (sampling, placement, rebuild) but membership is steady. The budget
+/// bounds allocations per communication round; it is headroom over the
+/// measured figure, not a tight pin — see EXPERIMENTS.md M2 for the numbers.
+TEST(AllocBudget, ChurnOverlaySteadyEpochStaysUnderBudget) {
+  ASSERT_TRUE(support::alloc_counting_available());
+  const std::uint64_t n = budget_value("churn.steady_epoch", "n");
+  const std::uint64_t warmup_epochs =
+      budget_value("churn.steady_epoch", "warmup_epochs");
+  const std::uint64_t epochs = budget_value("churn.steady_epoch", "epochs");
+  const std::uint64_t budget =
+      budget_value("churn.steady_epoch", "allocs_per_round");
+
+  churn::ChurnOverlay::Config config;
+  config.initial_size = static_cast<std::size_t>(n);
+  config.seed = 0xB07C;
+  churn::ChurnOverlay overlay(config);
+  adversary::UniformChurn no_churn(0.0, 0.0, 1.0, support::Rng(7));
+
+  for (std::uint64_t e = 0; e < warmup_epochs; ++e) {
+    const auto report = overlay.run_epoch(no_churn);
+    ASSERT_TRUE(report.success) << report.failure_reason;
+  }
+
+  support::AllocCounter scope;
+  std::uint64_t measured_rounds = 0;
+  for (std::uint64_t e = 0; e < epochs; ++e) {
+    const auto report = overlay.run_epoch(no_churn);
+    ASSERT_TRUE(report.success) << report.failure_reason;
+    measured_rounds += static_cast<std::uint64_t>(report.rounds);
+  }
+  ASSERT_GT(measured_rounds, 0u);
+  const support::AllocTotals used = scope.delta();
+  const std::uint64_t per_round = used.allocations / measured_rounds;
+  std::cout << "[ measured ] churn.steady_epoch: " << per_round
+            << " allocations/round over " << measured_rounds
+            << " rounds (budget " << budget << "/round)\n";
+  EXPECT_LE(per_round, budget)
+      << "steady epochs allocated " << used.allocations << " times over "
+      << measured_rounds << " rounds (" << per_round << "/round, budget "
+      << budget << ")";
+}
+
+}  // namespace
+}  // namespace reconfnet

@@ -1,0 +1,25 @@
+// Fixture: a well-behaved hot function — buffers hoisted and reserved,
+// no associative containers, no formatting. Must produce zero findings.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+class Engine {
+ public:
+  void pump(const std::vector<int>& in) {
+    scratch_.clear();
+    scratch_.reserve(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      scratch_.push_back(in[i] * 2);
+    }
+    total_ = 0;
+    for (const int value : scratch_) total_ += value;
+  }
+
+ private:
+  std::vector<int> scratch_;
+  long total_ = 0;
+};
+
+}  // namespace fixture

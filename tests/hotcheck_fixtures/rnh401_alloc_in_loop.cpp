@@ -1,0 +1,25 @@
+// Fixture for RNH401: heap allocation inside hot loops, and — for strict
+// functions — anywhere in the body. Line numbers are pinned by the test.
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+int driver(std::size_t rounds) {
+  int total = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<int> perRound(r + 1);  // line 12: RNH401 (loop of driver)
+    auto owned = std::make_unique<int>(3);  // line 13: RNH401
+    total += perRound.empty() ? *owned : perRound.back();
+  }
+  std::vector<int> hoisted(rounds);  // outside the loop: clean for a driver
+  return total + static_cast<int>(hoisted.size());
+}
+
+int leaf(int x) {
+  std::vector<int> local(4, x);  // line 21: RNH401 (strict body)
+  return local.back() + *new int(x);  // line 22: RNH401 (operator new)
+}
+
+}  // namespace fixture

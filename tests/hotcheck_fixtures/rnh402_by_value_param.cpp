@@ -1,0 +1,17 @@
+// Fixture for RNH402: hot-function parameters passing containers by value.
+// The by-reference and by-pointer overloads must stay clean.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+int by_value(std::vector<int> payload,  // line 8: RNH402
+             std::string tag) {         // line 9: RNH402
+  return static_cast<int>(payload.size() + tag.size());
+}
+
+int by_ref(const std::vector<int>& payload, const std::string* tag) {
+  return static_cast<int>(payload.size()) + (tag != nullptr ? 1 : 0);
+}
+
+}  // namespace fixture

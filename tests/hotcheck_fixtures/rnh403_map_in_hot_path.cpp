@@ -1,0 +1,20 @@
+// Fixture for RNH403: per-message operations on associative containers in a
+// hot function. The map is declared outside the hot function to mimic the
+// member-map case; flat-vector indexing must stay clean.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::unordered_map<std::uint64_t, int> table;
+std::vector<int> flat;
+
+int lookup(std::uint64_t key) {
+  auto it = table.find(key);  // line 14: RNH403
+  if (it != table.end()) return it->second;
+  table[key] = 1;  // line 16: RNH403
+  return flat[static_cast<std::size_t>(key)];  // flat indexing: clean
+}
+
+}  // namespace fixture

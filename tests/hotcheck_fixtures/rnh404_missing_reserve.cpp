@@ -1,0 +1,33 @@
+// Fixture for RNH404: a loop growing a vector with no prior reserve/resize.
+// The reserved twin — including a reserve inside an outer loop ahead of an
+// inner push loop — must stay clean.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+std::vector<int> unreserved(std::size_t n) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int>(i));  // line 12: RNH404
+  }
+  return out;
+}
+
+std::vector<int> reserved(std::size_t n) {
+  std::vector<int> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int>(i));  // clean: reserve precedes the loop
+  }
+  for (std::size_t outer = 0; outer < n; ++outer) {
+    out.clear();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(static_cast<int>(i + outer));  // clean: reserved above
+    }
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture for RNH405: string formatting on a hot path.
+#include <string>
+
+namespace fixture {
+
+std::string label(int id) {
+  return "node-" + std::to_string(id);  // line 7: RNH405
+}
+
+}  // namespace fixture

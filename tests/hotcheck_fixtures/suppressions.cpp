@@ -1,0 +1,17 @@
+// Fixture for the suppression syntax: a reasoned allow() silences its rule
+// on the annotated line; a marker without a reason is malformed (RNH490).
+#include <string>
+
+namespace fixture {
+
+std::string tagged(int id) {
+  // reconfnet-hotcheck: allow(RNH405) label built once per topology change
+  return "node-" + std::to_string(id);  // suppressed
+}
+
+std::string untagged(int id) {
+  // reconfnet-hotcheck: allow(RNH405)
+  return "node-" + std::to_string(id);  // line 14: RNH405 stays, 13: RNH490
+}
+
+}  // namespace fixture

@@ -1,0 +1,223 @@
+// Tests for reconfnet_hotcheck (tools/hotcheck/): one test per RNH rule id,
+// driven by the fixtures in tests/hotcheck_fixtures/, plus coverage for the
+// hotpaths.toml parser, strict vs. loop-scoped analysis, suppressions, drift
+// detection (RNH410) and partial runs. The fixtures directory is excluded
+// from every repo-wide tool walk, so the deliberate violations never reach
+// the real gate; the tests feed them to the Driver under synthetic paths.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "toolcheck_util.hpp"
+#include "tools/hotcheck/hotcheck.hpp"
+
+namespace hc = reconfnet::hotcheck;
+
+using reconfnet::toolcheck::lines_of;
+
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  return reconfnet::toolcheck::read_fixture_file(RECONFNET_HOTCHECK_FIXTURES,
+                                                 name);
+}
+
+/// A spec declaring `functions` of one synthetic hot file.
+hc::Spec one_hotpath(const std::string& file,
+                     const std::vector<std::string>& functions, bool strict) {
+  hc::Spec spec;
+  hc::HotPathSpec hp;
+  hp.name = "fixture";
+  hp.file = file;
+  hp.functions = functions;
+  hp.strict = strict;
+  hp.line = 1;
+  spec.hotpaths.push_back(hp);
+  return spec;
+}
+
+hc::Driver::Result run_fixture(const std::string& fixture,
+                               const std::string& as_path, hc::Spec spec) {
+  hc::Driver driver(std::move(spec), "spec.toml");
+  driver.add_file(as_path, read_fixture(fixture));
+  return driver.run();
+}
+
+// --- spec parser ------------------------------------------------------------
+
+TEST(HotcheckSpec, ParsesHotpathsBudgetsOptionsAndAllow) {
+  const std::string text = R"(
+[options]
+roots = ["src/", "bench/"]
+
+[[hotpath]]
+name = "bus"
+file = "src/sim/bus.hpp"
+functions = ["send", "deliver"]
+strict = "true"
+note = "per-message leaves"
+
+[[hotpath]]
+file = "src/churn/reconfigure.cpp"
+functions = ["reconfigure"]
+
+[[budget]]
+name = "bus.steady_state"
+allocs_per_round = "0"
+rounds = "8"
+
+[allow]
+RNH403 = ["src/legacy/"]
+)";
+  hc::Spec spec;
+  std::string error;
+  ASSERT_TRUE(hc::parse_spec(text, spec, error)) << error;
+  ASSERT_EQ(spec.roots.size(), 2u);
+  ASSERT_EQ(spec.hotpaths.size(), 2u);
+  EXPECT_EQ(spec.hotpaths[0].name, "bus");
+  EXPECT_TRUE(spec.hotpaths[0].strict);
+  // A hotpath without a name falls back to its file.
+  EXPECT_EQ(spec.hotpaths[1].name, "src/churn/reconfigure.cpp");
+  EXPECT_FALSE(spec.hotpaths[1].strict);
+  ASSERT_EQ(spec.budgets.size(), 1u);
+  EXPECT_EQ(spec.budgets[0].values.at("allocs_per_round"), "0");
+  EXPECT_EQ(spec.budgets[0].values.at("rounds"), "8");
+  EXPECT_EQ(spec.allow.at("RNH403").front(), "src/legacy/");
+}
+
+TEST(HotcheckSpec, RejectsMalformedInput) {
+  hc::Spec spec;
+  std::string error;
+  EXPECT_FALSE(hc::parse_spec("[[hotpath]]\nfile = \"x.cpp\"\n", spec, error))
+      << "functions is required";
+  EXPECT_FALSE(hc::parse_spec(
+      "[[hotpath]]\nfile = \"x\"\nfunctions = [\"f\"]\nstrict = \"yes\"\n",
+      spec, error))
+      << "strict must be true/false";
+  EXPECT_FALSE(hc::parse_spec(
+      "[[budget]]\nname = \"b\"\nallocs_per_round = \"lots\"\n", spec, error))
+      << "budget values must be integers";
+  EXPECT_FALSE(hc::parse_spec("[[budget]]\nname = \"b\"\n", spec, error))
+      << "a budget needs at least one integer key";
+  EXPECT_FALSE(hc::parse_spec(
+      "[[budget]]\nname = \"b\"\nx = \"1\"\n"
+      "[[budget]]\nname = \"b\"\nx = \"2\"\n",
+      spec, error))
+      << "duplicate budget names are ambiguous";
+  EXPECT_FALSE(hc::parse_spec("[[mystery]]\nkey = \"v\"\n", spec, error))
+      << "unknown sections are errors";
+}
+
+// --- rules ------------------------------------------------------------------
+
+TEST(Hotcheck, CleanHotFunctionProducesNoFindings) {
+  const auto result = run_fixture("clean_hot.cpp", "src/hot/clean.cpp",
+                                  one_hotpath("src/hot/clean.cpp", {"pump"},
+                                              /*strict=*/false));
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.hot_functions_checked, 1u);
+}
+
+TEST(Hotcheck, RNH401FlagsAllocationInDriverLoopsOnly) {
+  const auto result = run_fixture("rnh401_alloc_in_loop.cpp",
+                                  "src/hot/alloc.cpp",
+                                  one_hotpath("src/hot/alloc.cpp", {"driver"},
+                                              /*strict=*/false));
+  EXPECT_EQ(lines_of(result, "RNH401"),
+            (std::vector<std::size_t>{12, 13}));  // hoisted line 16 is clean
+}
+
+TEST(Hotcheck, RNH401FlagsAnyAllocationInStrictFunctions) {
+  const auto result = run_fixture("rnh401_alloc_in_loop.cpp",
+                                  "src/hot/alloc.cpp",
+                                  one_hotpath("src/hot/alloc.cpp", {"leaf"},
+                                              /*strict=*/true));
+  EXPECT_EQ(lines_of(result, "RNH401"), (std::vector<std::size_t>{21, 22}));
+}
+
+TEST(Hotcheck, RNH402FlagsByValueContainerParameters) {
+  const auto result = run_fixture(
+      "rnh402_by_value_param.cpp", "src/hot/params.cpp",
+      one_hotpath("src/hot/params.cpp", {"by_value", "by_ref"},
+                  /*strict=*/false));
+  EXPECT_EQ(lines_of(result, "RNH402"), (std::vector<std::size_t>{8, 9}));
+}
+
+TEST(Hotcheck, RNH403FlagsMapOperations) {
+  const auto result = run_fixture("rnh403_map_in_hot_path.cpp",
+                                  "src/hot/maps.cpp",
+                                  one_hotpath("src/hot/maps.cpp", {"lookup"},
+                                              /*strict=*/false));
+  EXPECT_EQ(lines_of(result, "RNH403"), (std::vector<std::size_t>{14, 16}));
+}
+
+TEST(Hotcheck, RNH404FlagsPushLoopsWithoutReserve) {
+  const auto result = run_fixture(
+      "rnh404_missing_reserve.cpp", "src/hot/push.cpp",
+      one_hotpath("src/hot/push.cpp", {"unreserved", "reserved"},
+                  /*strict=*/false));
+  EXPECT_EQ(lines_of(result, "RNH404"), (std::vector<std::size_t>{12}));
+}
+
+TEST(Hotcheck, RNH405FlagsStringFormatting) {
+  const auto result = run_fixture("rnh405_string_format.cpp",
+                                  "src/hot/fmt.cpp",
+                                  one_hotpath("src/hot/fmt.cpp", {"label"},
+                                              /*strict=*/false));
+  EXPECT_EQ(lines_of(result, "RNH405"), (std::vector<std::size_t>{7}));
+}
+
+// --- suppressions -----------------------------------------------------------
+
+TEST(Hotcheck, SuppressionSilencesItsLineAndMalformedMarkersAreFlagged) {
+  const auto result = run_fixture(
+      "suppressions.cpp", "src/hot/sup.cpp",
+      one_hotpath("src/hot/sup.cpp", {"tagged", "untagged"},
+                  /*strict=*/false));
+  EXPECT_EQ(lines_of(result, "RNH405"), (std::vector<std::size_t>{14}));
+  EXPECT_EQ(lines_of(result, "RNH490"), (std::vector<std::size_t>{13}));
+  EXPECT_EQ(result.suppressed, 1u);
+}
+
+// --- drift (RNH410) and partial runs ----------------------------------------
+
+TEST(Hotcheck, RNH410FlagsMissingFileOnFullRunsOnly) {
+  hc::Spec spec = one_hotpath("src/hot/gone.cpp", {"f"}, false);
+  spec.hotpaths[0].line = 7;
+
+  hc::Driver full(spec, "spec.toml");
+  full.add_file("src/hot/other.cpp", "int g() { return 0; }\n");
+  const auto full_result = full.run();
+  ASSERT_EQ(full_result.findings.size(), 1u);
+  EXPECT_EQ(full_result.findings[0].rule, "RNH410");
+  EXPECT_EQ(full_result.findings[0].file, "spec.toml");
+  EXPECT_EQ(full_result.findings[0].line, 7u);
+
+  hc::Driver partial(spec, "spec.toml");
+  partial.set_partial(true);
+  partial.add_file("src/hot/other.cpp", "int g() { return 0; }\n");
+  EXPECT_TRUE(partial.run().findings.empty());
+}
+
+TEST(Hotcheck, RNH410FlagsFunctionMissingFromItsFile) {
+  const auto result = run_fixture("clean_hot.cpp", "src/hot/clean.cpp",
+                                  one_hotpath("src/hot/clean.cpp",
+                                              {"pump", "vanished"},
+                                              /*strict=*/false));
+  EXPECT_EQ(lines_of(result, "RNH410"), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(result.hot_functions_checked, 1u);
+}
+
+// --- allow carve-outs -------------------------------------------------------
+
+TEST(Hotcheck, AllowPrefixSwitchesARuleOffWholesale) {
+  hc::Spec spec = one_hotpath("src/hot/fmt.cpp", {"label"}, false);
+  spec.allow["RNH405"] = {"src/hot/"};
+  const auto result = run_fixture("rnh405_string_format.cpp",
+                                  "src/hot/fmt.cpp", std::move(spec));
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.suppressed, 1u);
+}
+
+}  // namespace

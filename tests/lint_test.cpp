@@ -12,18 +12,17 @@
 #include <vector>
 
 #include "tools/lint/lint.hpp"
+#include "toolcheck_util.hpp"
 
 namespace lint = reconfnet::lint;
+
+using reconfnet::toolcheck::lines_of;
 
 namespace {
 
 std::string read_fixture(const std::string& name) {
-  const std::string path = std::string(RECONFNET_LINT_FIXTURES) + "/" + name;
-  std::ifstream in(path);
-  if (!in) ADD_FAILURE() << "cannot open fixture " << path;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+  return reconfnet::toolcheck::read_fixture_file(RECONFNET_LINT_FIXTURES,
+                                                 name);
 }
 
 /// A config whose single layer covers everything the determinism/hygiene
@@ -40,16 +39,6 @@ lint::Config layered_config() {
   config.layers.push_back({"support", {"src/support/"}});
   config.layers.push_back({"runtime", {"src/runtime/"}});
   return config;
-}
-
-/// Lines on which `rule` fired, in report order.
-std::vector<std::size_t> lines_of(const lint::Driver::Result& result,
-                                  const std::string& rule) {
-  std::vector<std::size_t> lines;
-  for (const auto& finding : result.findings) {
-    if (finding.rule == rule) lines.push_back(finding.line);
-  }
-  return lines;
 }
 
 lint::Driver::Result run_fixture(const std::string& fixture,
@@ -243,6 +232,69 @@ TEST(LintConfig, RepoLayerMapParsesAndCoversKnownFiles) {
   const auto result = driver.run();
   EXPECT_TRUE(lines_of(result, "RNL102").empty())
       << "core paths must be covered by the shipped layer map";
+}
+
+// --- shared TOML-subset parser edge cases ----------------------------------
+// All three checkers (lint, protocheck, hotcheck) read their specs through
+// textscan::parse_toml_subset, so its corner behavior is pinned here once.
+
+namespace textscan = reconfnet::textscan;
+
+std::vector<textscan::TomlSection> parse_ok(const std::string& text) {
+  std::vector<textscan::TomlSection> sections;
+  std::string error;
+  EXPECT_TRUE(textscan::parse_toml_subset(text, sections, error)) << error;
+  return sections;
+}
+
+TEST(TextscanToml, EmptyTablesAreValidAndKeepTheirNames) {
+  // hotpaths.toml ships a deliberately empty [allow] table.
+  const auto sections = parse_ok("[allow]\n\n[[hotpath]]\nname = \"x\"\n");
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].name, "allow");
+  EXPECT_FALSE(sections[0].is_array_of_tables);
+  EXPECT_TRUE(sections[0].entries.empty());
+  EXPECT_EQ(sections[1].name, "hotpath");
+  EXPECT_TRUE(sections[1].is_array_of_tables);
+}
+
+TEST(TextscanToml, TrailingCommentsAfterValuesAreStripped) {
+  const auto sections = parse_ok(
+      "[t]\n"
+      "a = [\"x\", \"y\"]  # comment after an array\n"
+      "b = \"v\" # comment after a scalar\n");
+  ASSERT_EQ(sections.size(), 1u);
+  ASSERT_EQ(sections[0].entries.size(), 2u);
+  EXPECT_EQ(sections[0].entries[0].items,
+            (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(sections[0].entries[1].scalar, "v");
+}
+
+TEST(TextscanToml, HashInsideQuotedStringsIsNotAComment) {
+  const auto sections =
+      parse_ok("[t]\na = \"x#y\"\nb = [\"p#q\", \"r\"]\n");
+  ASSERT_EQ(sections[0].entries.size(), 2u);
+  EXPECT_EQ(sections[0].entries[0].scalar, "x#y");
+  EXPECT_EQ(sections[0].entries[1].items,
+            (std::vector<std::string>{"p#q", "r"}));
+}
+
+TEST(TextscanToml, CrlfInputParsesIdenticallyToLf) {
+  const auto sections =
+      parse_ok("[t]\r\nk = \"v\"\r\n\r\n[[u]]\r\nm = [\"a\"]\r\n");
+  ASSERT_EQ(sections.size(), 2u);
+  ASSERT_EQ(sections[0].entries.size(), 1u);
+  EXPECT_EQ(sections[0].entries[0].scalar, "v");
+  ASSERT_EQ(sections[1].entries.size(), 1u);
+  EXPECT_EQ(sections[1].entries[0].items,
+            (std::vector<std::string>{"a"}));
+}
+
+TEST(TextscanToml, EmptyArrayValueYieldsNoItems) {
+  const auto sections = parse_ok("[t]\nk = []\n");
+  ASSERT_EQ(sections[0].entries.size(), 1u);
+  EXPECT_TRUE(sections[0].entries[0].is_array);
+  EXPECT_TRUE(sections[0].entries[0].items.empty());
 }
 
 }  // namespace

@@ -14,19 +14,17 @@
 #include <vector>
 
 #include "tools/protocheck/protocheck.hpp"
+#include "toolcheck_util.hpp"
 
 namespace pc = reconfnet::protocheck;
+
+using reconfnet::toolcheck::lines_of;
 
 namespace {
 
 std::string read_fixture(const std::string& name) {
-  const std::string path =
-      std::string(RECONFNET_PROTOCHECK_FIXTURES) + "/" + name;
-  std::ifstream in(path);
-  if (!in) ADD_FAILURE() << "cannot open fixture " << path;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+  return reconfnet::toolcheck::read_fixture_file(
+      RECONFNET_PROTOCHECK_FIXTURES, name);
 }
 
 /// A [[message]] entry whose senders and receivers are exactly `file`.
@@ -42,16 +40,6 @@ pc::MessageSpec message(const std::string& name, const std::string& file,
   msg.bits = bits;
   msg.line = line;
   return msg;
-}
-
-/// Lines on which `rule` fired, in report order.
-std::vector<std::size_t> lines_of(const pc::Driver::Result& result,
-                                  const std::string& rule) {
-  std::vector<std::size_t> lines;
-  for (const auto& finding : result.findings) {
-    if (finding.rule == rule) lines.push_back(finding.line);
-  }
-  return lines;
 }
 
 pc::Driver::Result run_fixture(const std::string& fixture,

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON result files by real_time.
+
+Used by CI as a *non-blocking* drift report: the committed baseline
+(bench/baselines/BENCH_micro.json) was recorded on one machine, CI runs on
+another, so absolute times are only comparable up to a large noise factor.
+The default tolerance (--tolerance 0.5, i.e. a 1.5x slowdown) is therefore
+deliberately loose, and the exit code is 0 unless --fail-on-regression is
+passed.
+
+Usage:
+  tools/benchdiff.py BASELINE CURRENT [--tolerance 0.5]
+                     [--fail-on-regression]
+
+Exit codes:
+  0  compared cleanly (regressions are reported but not fatal by default)
+  1  --fail-on-regression was given and at least one benchmark regressed
+  2  an input file is missing or not google-benchmark JSON
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: (real_time, time_unit)} for the iteration entries."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"benchdiff: cannot read {path}: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    if "benchmarks" not in data:
+        print(f"benchdiff: {path} has no 'benchmarks' array "
+              "(not google-benchmark JSON?)", file=sys.stderr)
+        raise SystemExit(2)
+    out = {}
+    for entry in data["benchmarks"]:
+        # Skip aggregate rows (mean/median/stddev) when repetitions are on;
+        # the per-iteration rows carry run_type == 'iteration' (or no
+        # run_type at all in older library versions).
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        out[entry["name"]] = (float(entry["real_time"]),
+                              entry.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="google-benchmark real_time comparator")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed fractional slowdown before a benchmark "
+                             "counts as regressed (default 0.5 = 1.5x)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any benchmark regressed")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    curr = load_benchmarks(args.current)
+
+    shared = sorted(set(base) & set(curr))
+    only_base = sorted(set(base) - set(curr))
+    only_curr = sorted(set(curr) - set(base))
+
+    regressed = []
+    width = max((len(name) for name in shared), default=0)
+    print(f"benchdiff: {args.baseline} -> {args.current} "
+          f"(tolerance {args.tolerance:+.0%})")
+    for name in shared:
+        base_time, base_unit = base[name]
+        curr_time, curr_unit = curr[name]
+        if base_unit != curr_unit:
+            print(f"  {name:<{width}}  UNIT MISMATCH "
+                  f"({base_unit} vs {curr_unit})")
+            regressed.append(name)
+            continue
+        ratio = (curr_time / base_time) if base_time > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            flag = "  REGRESSED"
+            regressed.append(name)
+        elif ratio < 1.0 - args.tolerance:
+            flag = "  improved"
+        print(f"  {name:<{width}}  {base_time:>12.1f} -> {curr_time:>12.1f} "
+              f"{base_unit}  ({ratio:5.2f}x){flag}")
+    for name in only_base:
+        print(f"  {name}: missing from current run")
+    for name in only_curr:
+        print(f"  {name}: new (no baseline)")
+
+    if not shared:
+        print("benchdiff: no overlapping benchmarks to compare")
+    if regressed:
+        print(f"benchdiff: {len(regressed)} of {len(shared)} benchmarks "
+              f"exceeded the tolerance: {', '.join(regressed)}")
+        if args.fail_on_regression:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,16 @@
-// reconfnet_protocheck CLI. See protocheck.hpp for the rule catalogue.
+// reconfnet_hotcheck CLI. See hotcheck.hpp for the rule catalogue.
 //
 // Usage:
-//   reconfnet_protocheck [--root DIR] [--spec FILE] [--sarif FILE] [file...]
+//   reconfnet_hotcheck [--root DIR] [--spec FILE] [--sarif FILE] [file...]
 //
 //   --root DIR    repository root (default: current directory). All paths
 //                 are interpreted and reported relative to it.
-//   --spec FILE   protocol spec (default: ROOT/tools/protocheck/protocol.toml)
+//   --spec FILE   hot-path spec (default: ROOT/tools/hotcheck/hotpaths.toml)
 //   --sarif FILE  also write the findings as SARIF 2.1.0 (for the CI
 //                 code-scanning upload); does not change the exit status
 //   file...       check exactly these files instead of walking the spec's
-//                 roots; partial runs skip the whole-tree orphan rules
-//                 (fixture files under tests/protocheck_fixtures/ are only
+//                 roots; partial runs skip the missing-file drift checks
+//                 (fixture files under tests/hotcheck_fixtures/ are only
 //                 reachable this way)
 //
 // Exit status: 0 clean, 1 findings, 2 usage/configuration error.
@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "protocheck.hpp"
+#include "hotcheck.hpp"
 
 namespace fs = std::filesystem;
 
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::cerr << "reconfnet_protocheck: " << flag << " needs a value\n";
+        std::cerr << "reconfnet_hotcheck: " << flag << " needs a value\n";
         std::exit(2);
       }
       return argv[++i];
@@ -74,32 +74,31 @@ int main(int argc, char** argv) {
     } else if (arg == "--sarif") {
       sarif_path = next("--sarif");
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: reconfnet_protocheck [--root DIR] [--spec FILE] "
+      std::cout << "usage: reconfnet_hotcheck [--root DIR] [--spec FILE] "
                    "[--sarif FILE] [--version] [--list-rules] [file...]\n";
       return 0;
     } else if (reconfnet::textscan::handle_standard_flag(
-                   arg, "reconfnet_protocheck", reconfnet::protocheck::rules(),
+                   arg, "reconfnet_hotcheck", reconfnet::hotcheck::rules(),
                    std::cout)) {
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "reconfnet_protocheck: unknown option " << arg << "\n";
+      std::cerr << "reconfnet_hotcheck: unknown option " << arg << "\n";
       return 2;
     } else {
       explicit_files.push_back(arg);
     }
   }
-  if (spec_path.empty()) spec_path = root / "tools/protocheck/protocol.toml";
+  if (spec_path.empty()) spec_path = root / "tools/hotcheck/hotpaths.toml";
 
   std::string spec_text;
   if (!read_file(spec_path, spec_text)) {
-    std::cerr << "reconfnet_protocheck: cannot read spec " << spec_path
-              << "\n";
+    std::cerr << "reconfnet_hotcheck: cannot read spec " << spec_path << "\n";
     return 2;
   }
-  reconfnet::protocheck::Spec spec;
+  reconfnet::hotcheck::Spec spec;
   std::string error;
-  if (!reconfnet::protocheck::parse_spec(spec_text, spec, error)) {
-    std::cerr << "reconfnet_protocheck: bad spec: " << error << "\n";
+  if (!reconfnet::hotcheck::parse_spec(spec_text, spec, error)) {
+    std::cerr << "reconfnet_hotcheck: bad spec: " << error << "\n";
     return 2;
   }
 
@@ -122,46 +121,46 @@ int main(int argc, char** argv) {
       const fs::path p = fs::path(file).is_absolute() ? fs::path(file)
                                                       : root / file;
       if (!fs::exists(p)) {
-        std::cerr << "reconfnet_protocheck: no such file: " << file << "\n";
+        std::cerr << "reconfnet_hotcheck: no such file: " << file << "\n";
         return 2;
       }
       paths.insert(repo_relative(p, root));
     }
   }
   if (paths.empty()) {
-    std::cerr << "reconfnet_protocheck: no input files\n";
+    std::cerr << "reconfnet_hotcheck: no input files\n";
     return 2;
   }
 
-  reconfnet::protocheck::Driver driver(
-      std::move(spec), repo_relative(spec_path, root));
+  reconfnet::hotcheck::Driver driver(std::move(spec),
+                                     repo_relative(spec_path, root));
   driver.set_partial(!explicit_files.empty());
   for (const std::string& rel : paths) {
     std::string content;
     if (!read_file(root / rel, content)) {
-      std::cerr << "reconfnet_protocheck: cannot read " << rel << "\n";
+      std::cerr << "reconfnet_hotcheck: cannot read " << rel << "\n";
       return 2;
     }
     driver.add_file(rel, content);
   }
 
   const auto result = driver.run();
-  for (const reconfnet::protocheck::Finding& finding : result.findings) {
+  for (const reconfnet::hotcheck::Finding& finding : result.findings) {
     std::cout << finding.file << ":" << finding.line << ": " << finding.rule
               << " " << finding.message << "\n";
   }
   if (!sarif_path.empty()) {
     std::ofstream sarif(sarif_path, std::ios::binary);
     if (!sarif) {
-      std::cerr << "reconfnet_protocheck: cannot write " << sarif_path
-                << "\n";
+      std::cerr << "reconfnet_hotcheck: cannot write " << sarif_path << "\n";
       return 2;
     }
-    reconfnet::textscan::write_sarif(sarif, "reconfnet_protocheck",
-                                     "tools/protocheck/protocheck.hpp",
+    reconfnet::textscan::write_sarif(sarif, "reconfnet_hotcheck",
+                                     "tools/hotcheck/hotcheck.hpp",
                                      result.findings);
   }
-  std::cerr << "reconfnet_protocheck: " << result.files_checked << " files, "
+  std::cerr << "reconfnet_hotcheck: " << result.files_checked << " files, "
+            << result.hot_functions_checked << " hot functions, "
             << result.findings.size() << " findings (" << result.suppressed
             << " suppressed)\n";
   return result.findings.empty() ? 0 : 1;

@@ -15,6 +15,27 @@ using textscan::tokenize;
 using textscan::trim;
 
 // ---------------------------------------------------------------------------
+// Rule catalogue
+
+const std::vector<textscan::RuleInfo>& rules() {
+  static const std::vector<textscan::RuleInfo> kRules = {
+      {"RNL001", "std::random_device (nondeterministic seed source)"},
+      {"RNL002", "rand()/srand()/*rand48 (hidden global-state RNG)"},
+      {"RNL003", "wall-clock input (std::chrono, time(), ...)"},
+      {"RNL004", "__DATE__/__TIME__/__TIMESTAMP__ build stamps"},
+      {"RNL005", "iteration over an unordered container"},
+      {"RNL006", "pointer values used as keys"},
+      {"RNL101", "include of a higher layer"},
+      {"RNL102", "file or include not covered by the layer map"},
+      {"RNL201", "header without #pragma once"},
+      {"RNL202", "using namespace in a header"},
+      {"RNL203", "NOLINT without a rule name and reason"},
+      {"RNL204", "malformed reconfnet-lint suppression"},
+  };
+  return kRules;
+}
+
+// ---------------------------------------------------------------------------
 // Config parsing (layers.toml subset)
 
 bool parse_config(const std::string& text, Config& config,

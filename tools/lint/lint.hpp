@@ -70,6 +70,9 @@ struct Config {
 /// `error` on malformed input.
 bool parse_config(const std::string& text, Config& config, std::string& error);
 
+/// The static rule catalogue (--list-rules output).
+const std::vector<textscan::RuleInfo>& rules();
+
 class Driver {
  public:
   explicit Driver(Config config);

@@ -104,7 +104,12 @@ int main(int argc, char** argv) {
       sarif_path = next("--sarif");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: reconfnet_lint [--root DIR] [--config FILE] "
-                   "[--compdb FILE] [--sarif FILE] [file...]\n";
+                   "[--compdb FILE] [--sarif FILE] [--version] "
+                   "[--list-rules] [file...]\n";
+      return 0;
+    } else if (reconfnet::textscan::handle_standard_flag(
+                   arg, "reconfnet_lint", reconfnet::lint::rules(),
+                   std::cout)) {
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "reconfnet_lint: unknown option " << arg << "\n";

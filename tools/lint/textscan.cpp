@@ -138,6 +138,22 @@ std::size_t skip_angles(const std::vector<Tok>& t, std::size_t i) {
   return t.size();
 }
 
+bool bracket_is_open(const std::string& t) {
+  return t == "(" || t == "{" || t == "[";
+}
+bool bracket_is_close(const std::string& t) {
+  return t == ")" || t == "}" || t == "]";
+}
+
+std::size_t match_bracket(const std::vector<Tok>& t, std::size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (bracket_is_open(t[i].text)) ++depth;
+    if (bracket_is_close(t[i].text) && --depth == 0) return i;
+  }
+  return t.size();
+}
+
 const std::set<std::string>& cpp_keywords() {
   static const std::set<std::string> kKeywords = {
       "alignas",  "alignof",  "auto",      "bool",     "break",    "case",
@@ -461,6 +477,25 @@ bool parse_toml_subset(const std::string& text,
     sections.back().entries.push_back(std::move(entry));
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Standard informational CLI flags
+
+bool handle_standard_flag(const std::string& arg, const std::string& tool_name,
+                          const std::vector<RuleInfo>& rules,
+                          std::ostream& out) {
+  if (arg == "--version") {
+    out << tool_name << " " << kToolsVersion << "\n";
+    return true;
+  }
+  if (arg == "--list-rules") {
+    for (const RuleInfo& rule : rules) {
+      out << rule.id << "\t" << rule.summary << "\n";
+    }
+    return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------

@@ -96,6 +96,13 @@ bool tok_is(const std::vector<Tok>& t, std::size_t i, const char* text);
 /// operators cannot appear.
 std::size_t skip_angles(const std::vector<Tok>& t, std::size_t i);
 
+bool bracket_is_open(const std::string& t);   // ( { [
+bool bracket_is_close(const std::string& t);  // ) } ]
+
+/// `i` points at an opening bracket; returns the index of its matching
+/// closer, or `t.size()` if unbalanced.
+std::size_t match_bracket(const std::vector<Tok>& t, std::size_t i);
+
 const std::set<std::string>& cpp_keywords();
 
 // ---------------------------------------------------------------------------
@@ -150,6 +157,28 @@ bool parse_toml_subset(const std::string& text,
 /// Parses `["a", "b"]` into items; returns false on malformed input.
 bool parse_string_array(const std::string& value,
                         std::vector<std::string>& items);
+
+// ---------------------------------------------------------------------------
+// Standard informational CLI flags
+
+/// Version stamp shared by the reconfnet checkers (reconfnet_lint,
+/// reconfnet_protocheck, reconfnet_hotcheck); bumped when a rule set or the
+/// shared scanning layer changes shape.
+inline constexpr const char* kToolsVersion = "1.1.0";
+
+/// One rule id plus its one-line summary — the unit of --list-rules output
+/// and of each tool's static rule catalogue.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Handles the informational flags every checker accepts: `--version` prints
+/// `<tool> <version>`, `--list-rules` prints one `ID<TAB>summary` line per
+/// rule. Returns true when `arg` was one of them (the caller exits 0).
+bool handle_standard_flag(const std::string& arg, const std::string& tool_name,
+                          const std::vector<RuleInfo>& rules,
+                          std::ostream& out);
 
 // ---------------------------------------------------------------------------
 // SARIF export

@@ -7,11 +7,34 @@
 namespace reconfnet::protocheck {
 
 using textscan::Tok;
+using textscan::bracket_is_close;
+using textscan::bracket_is_open;
 using textscan::cpp_keywords;
+using textscan::match_bracket;
 using textscan::skip_angles;
 using textscan::starts_with;
 using textscan::tok_is;
 using textscan::tokenize;
+
+// ---------------------------------------------------------------------------
+// Rule catalogue
+
+const std::vector<textscan::RuleInfo>& rules() {
+  static const std::vector<textscan::RuleInfo> kRules = {
+      {"RNP301", "Bus<T> binding with an undeclared message type"},
+      {"RNP302", "spec message never sent anywhere (orphan)"},
+      {"RNP303", "spec message never consumed via inbox() (orphan)"},
+      {"RNP304", "send site in a file not listed as a sender"},
+      {"RNP305", "inbox site in a file not listed as a receiver"},
+      {"RNP306", "send-site bits expression not among the spec formulas"},
+      {"RNP307", "payload member that cannot go on a wire"},
+      {"RNP308", "send after the bus's final step"},
+      {"RNP309", "pinned constant's token sequence missing"},
+      {"RNP310", "payload struct not found in its declared file"},
+      {"RNP390", "malformed reconfnet-protocheck suppression"},
+  };
+  return kRules;
+}
 
 namespace {
 
@@ -36,24 +59,6 @@ std::string normalize_range(const std::vector<Tok>& toks, std::size_t begin,
     out += toks[i].text;
   }
   return out;
-}
-
-bool is_open(const std::string& t) {
-  return t == "(" || t == "{" || t == "[";
-}
-bool is_close(const std::string& t) {
-  return t == ")" || t == "}" || t == "]";
-}
-
-/// `i` points at an opening bracket; returns the index of its matching
-/// closer, or `toks.size()` if unbalanced.
-std::size_t match_bracket(const std::vector<Tok>& toks, std::size_t i) {
-  int depth = 0;
-  for (; i < toks.size(); ++i) {
-    if (is_open(toks[i].text)) ++depth;
-    if (is_close(toks[i].text) && --depth == 0) return i;
-  }
-  return toks.size();
 }
 
 }  // namespace
@@ -404,8 +409,8 @@ void Driver::Extraction::collect_bindings_and_events(const std::string& path) {
         std::size_t arg_begin = open + 1;
         int depth = 0;
         for (std::size_t j = open + 1; j < close; ++j) {
-          if (is_open(toks[j].text)) ++depth;
-          if (is_close(toks[j].text)) --depth;
+          if (bracket_is_open(toks[j].text)) ++depth;
+          if (bracket_is_close(toks[j].text)) --depth;
           if (depth == 0 && toks[j].text == ",") {
             args.emplace_back(arg_begin, j);
             arg_begin = j + 1;
@@ -437,8 +442,8 @@ bool Driver::Extraction::scan_members(const StructDef& def, Sink&& sink,
   std::size_t stmt_begin = def.body_begin;
   int depth = 0;
   for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
-    if (is_open(toks[i].text)) ++depth;
-    if (is_close(toks[i].text)) --depth;
+    if (bracket_is_open(toks[i].text)) ++depth;
+    if (bracket_is_close(toks[i].text)) --depth;
     if (depth != 0 || toks[i].text != ";") continue;
     const std::size_t begin = stmt_begin;
     const std::size_t end = i;
@@ -454,8 +459,8 @@ bool Driver::Extraction::scan_members(const StructDef& def, Sink&& sink,
         break;
       }
       if (d == 0 && toks[j].text == "=") break;
-      if (is_open(toks[j].text)) ++d;
-      if (is_close(toks[j].text)) --d;
+      if (bracket_is_open(toks[j].text)) ++d;
+      if (bracket_is_close(toks[j].text)) --d;
     }
     if (is_function) continue;
     std::string problem;

@@ -89,6 +89,9 @@ struct Spec {
 /// (unknown sections/keys, missing required fields).
 bool parse_spec(const std::string& text, Spec& spec, std::string& error);
 
+/// The static rule catalogue (--list-rules output).
+const std::vector<textscan::RuleInfo>& rules();
+
 class Driver {
  public:
   /// `spec_path` is where spec-anchored findings (RNP302/303/309/310) are

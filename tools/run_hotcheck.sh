@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Run reconfnet_hotcheck (tools/hotcheck/) — the hot-path allocation/copy
+# gate — and fail non-zero on any unsuppressed finding. The checker reads the
+# hot-path inventory and allocation budgets from tools/hotcheck/hotpaths.toml
+# and flags per-round heap allocation, by-value container parameters, map
+# lookups on the message path, push loops without a prior reserve, and string
+# formatting inside the declared hot functions (DESIGN.md §11). The budgets in
+# the same spec are enforced dynamically by tests/allocbudget_test.cpp. Like
+# run_lint.sh it is zero-dependency: with no build tree it is
+# bootstrap-compiled on the spot via tools/bootstrap_tool.sh.
+#
+# Usage:
+#   tools/run_hotcheck.sh [build-dir] [file...]
+#
+#   build-dir  build tree to take the reconfnet_hotcheck binary from
+#              (default: first existing of build/default, build, build/tidy;
+#              bootstrap-compiled when none is configured)
+#   file...    restrict the run to these sources (partial mode: whole-spec
+#              rules such as the missing-hot-file check are skipped)
+#
+# Environment:
+#   HOTCHECK_LOG    also write the findings to this file (CI uploads it as an
+#                   artifact); written even when the run is clean.
+#   HOTCHECK_SARIF  also write a SARIF 2.1.0 log to this file (for the CI
+#                   code-scanning upload).
+#   CXX             compiler for the bootstrap build (default: c++)
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+build_dir="${1:-}"
+if [[ $# -gt 0 ]]; then
+  shift
+fi
+if [[ -z "${build_dir}" ]]; then
+  for candidate in build/default build build/tidy; do
+    if [[ -f "${candidate}/CMakeCache.txt" ]]; then
+      build_dir="${candidate}"
+      break
+    fi
+  done
+fi
+
+check_bin="$(tools/bootstrap_tool.sh reconfnet_hotcheck tools/hotcheck \
+  "${build_dir}" \
+  tools/lint/textscan.hpp tools/lint/textscan.cpp \
+  tools/hotcheck/hotcheck.hpp tools/hotcheck/hotcheck.cpp \
+  tools/hotcheck/main.cpp)"
+
+echo "reconfnet_hotcheck $("${check_bin}" --version | awk '{print $2}'): \
+$("${check_bin}" --list-rules | wc -l) rules active" >&2
+
+declare -a args=(--root . --spec tools/hotcheck/hotpaths.toml)
+if [[ -n "${HOTCHECK_SARIF:-}" ]]; then
+  args+=(--sarif "${HOTCHECK_SARIF}")
+fi
+if [[ $# -gt 0 ]]; then
+  args+=("$@")
+fi
+
+status=0
+if [[ -n "${HOTCHECK_LOG:-}" ]]; then
+  "${check_bin}" "${args[@]}" 2>&1 | tee "${HOTCHECK_LOG}" || status=$?
+else
+  "${check_bin}" "${args[@]}" || status=$?
+fi
+exit "${status}"

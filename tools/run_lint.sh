@@ -45,6 +45,9 @@ lint_bin="$(tools/bootstrap_tool.sh reconfnet_lint tools/lint \
   tools/lint/textscan.hpp tools/lint/textscan.cpp \
   tools/lint/lint.hpp tools/lint/lint.cpp tools/lint/main.cpp)"
 
+echo "reconfnet_lint $("${lint_bin}" --version | awk '{print $2}'): \
+$("${lint_bin}" --list-rules | wc -l) rules active" >&2
+
 declare -a args=(--root . --config tools/lint/layers.toml)
 if [[ -n "${build_dir}" && -f "${build_dir}/compile_commands.json" ]]; then
   args+=(--compdb "${build_dir}/compile_commands.json")

@@ -46,6 +46,9 @@ check_bin="$(tools/bootstrap_tool.sh reconfnet_protocheck tools/protocheck \
   tools/protocheck/protocheck.hpp tools/protocheck/protocheck.cpp \
   tools/protocheck/main.cpp)"
 
+echo "reconfnet_protocheck $("${check_bin}" --version | awk '{print $2}'): \
+$("${check_bin}" --list-rules | wc -l) rules active" >&2
+
 declare -a args=(--root . --spec tools/protocheck/protocol.toml)
 if [[ -n "${PROTOCHECK_SARIF:-}" ]]; then
   args+=(--sarif "${PROTOCHECK_SARIF}")
