@@ -133,8 +133,20 @@ void KaryGroupedOverlay::push_snapshot() {
   sim::TopologySnapshot snap;
   snap.round = round_;
   snap.nodes = all_nodes();
-  snap.edges = overlay_edges();
+  if (config_.snapshot_edges) snap.edges = overlay_edges();
   snapshots_.push(std::move(snap));
+}
+
+bool KaryGroupedOverlay::message_lost(std::uint64_t from, std::uint64_t to) {
+  fate_.clear();
+  fault_hook_->on_message(static_cast<sim::NodeId>(from),
+                          static_cast<sim::NodeId>(to), round_, fate_);
+  if (fate_.empty()) return true;
+  for (const sim::Round delay : fate_) {
+    if (delay == 0) return false;
+  }
+  // All copies delayed past the synchronous exchange window.
+  return true;
 }
 
 void KaryGroupedOverlay::advance_round(const Attack& attack,
@@ -160,10 +172,15 @@ void KaryGroupedOverlay::advance_round(const Attack& attack,
                  static_cast<double>(available) /
                      static_cast<double>(members.size()));
   }
-  if (!graph::is_connected_excluding(all_nodes(), overlay_edges(), blocked)) {
+  // A fully unblocked overlay is trivially connected (every group is
+  // non-empty and the hypercube is connected), so skip materializing the
+  // quadratic edge list — the dominant cost at n = 10^5 — in quiet rounds.
+  if (!blocked.empty() &&
+      !graph::is_connected_excluding(all_nodes(), overlay_edges(), blocked)) {
     ++report.disconnected_rounds;
   }
   blocked_prev_ = std::move(blocked);
+  if (fault_hook_ != nullptr) fault_hook_->on_step(round_);
   ++round_;
   ++report.rounds;
 }
@@ -209,8 +226,20 @@ KaryGroupedOverlay::EpochReport KaryGroupedOverlay::run_epoch(
         responses(cube_.size());
     for (std::uint64_t x = 0; x < cube_.size(); ++x) {
       for (const auto& [dest, request] : outgoing[x]) {
-        responses[request.requester].push_back(
-            cores[dest].serve(request, i, core_rngs[dest]));
+        // Request and response legs of the sampler exchange are ordinary
+        // wire traffic to the fault layer; a lost leg starves the requester
+        // (and may fail the epoch through the dry-sampler check below).
+        if (fault_hook_ != nullptr && message_lost(x, dest)) {
+          ++report.fault_dropped_messages;
+          continue;
+        }
+        auto response = cores[dest].serve(request, i, core_rngs[dest]);
+        if (fault_hook_ != nullptr &&
+            message_lost(dest, request.requester)) {
+          ++report.fault_dropped_messages;
+          continue;
+        }
+        responses[request.requester].push_back(std::move(response));
       }
     }
     for (std::uint64_t x = 0; x < cube_.size(); ++x) {

@@ -18,6 +18,7 @@
 #include "graph/kary_hypercube.hpp"
 #include "sampling/schedule.hpp"
 #include "sim/blocked.hpp"
+#include "sim/bus.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 #include "support/rng.hpp"
@@ -33,6 +34,11 @@ class KaryGroupedOverlay {
     sampling::SamplingConfig sampling{};
     int size_estimate_slack = 0;
     std::uint64_t seed = 1;
+    /// Materialize edge lists in topology snapshots. The full edge list is
+    /// Theta((n/d * log n)^2 * d) pairs — gigabytes at n = 10^5 — and only
+    /// stale-view adversaries read it, so large-scale workload runs without
+    /// an epoch adversary turn it off.
+    bool snapshot_edges = true;
   };
 
   struct Attack {
@@ -51,9 +57,17 @@ class KaryGroupedOverlay {
     double min_available_fraction = 1.0;
     std::size_t min_group_size = 0;
     std::size_t max_group_size = 0;
+    /// Sampler requests/responses lost to the fault hook (DESIGN.md §10).
+    std::size_t fault_dropped_messages = 0;
   };
 
   explicit KaryGroupedOverlay(const Config& config);
+
+  /// Attaches (or detaches, with nullptr) a fault-injection hook to the
+  /// epoch's sampler exchange: every request and response leg is offered to
+  /// the hook, and the hook's clock ticks once per epoch round. The hook
+  /// must outlive the overlay's epochs.
+  void set_fault_hook(sim::DeliveryHook* hook) { fault_hook_ = hook; }
 
   /// One reconfiguration epoch (group-level Algorithm 2 simulation plus the
   /// four-round reorganization), under the given attack.
@@ -100,10 +114,15 @@ class KaryGroupedOverlay {
   sim::SnapshotBuffer snapshots_;
   sim::BlockedSet blocked_prev_;
   sim::Round round_ = 0;
+  sim::DeliveryHook* fault_hook_ = nullptr;
+  std::vector<sim::Round> fate_;  ///< fault-hook scratch
 
   void rebuild_index();
   void push_snapshot();
   void advance_round(const Attack& attack, EpochReport& report);
+  /// Offers one sampler-exchange message to the fault hook; true = lost
+  /// (dropped outright or delayed past the exchange window).
+  bool message_lost(std::uint64_t from, std::uint64_t to);
 };
 
 }  // namespace reconfnet::apps

@@ -36,6 +36,69 @@ void RobustStore::deposit(Key key, Value value) {
   shards_[home_supernode(key)][key] = value;
 }
 
+bool RobustStore::route_to_home(
+    std::uint64_t at, std::uint64_t home,
+    std::span<const sim::BlockedSet> blocked_per_round, std::size_t& rounds,
+    std::unordered_map<std::uint64_t, std::size_t>* congestion) const {
+  const auto& cube = overlay_->cube();
+  // Greedy digit-fixing route; hop h occupies pipeline round h.
+  bool routed = true;
+  std::size_t round = 0;
+  if (congestion != nullptr) ++(*congestion)[at];
+  if (!overlay_->group_available(at, round, blocked_per_round)) {
+    routed = false;
+  }
+  while (routed && at != home) {
+    std::uint64_t next = at;
+    for (int digit = 0; digit < cube.dimension(); ++digit) {
+      const int want = cube.digit(home, digit);
+      if (cube.digit(at, digit) != want) {
+        next = cube.with_digit(at, digit, want);
+        break;
+      }
+    }
+    ++round;
+    if (congestion != nullptr) ++(*congestion)[next];
+    if (!overlay_->group_available(next, round, blocked_per_round)) {
+      routed = false;
+      break;
+    }
+    at = next;
+  }
+  // One final round for the home group to serve the request.
+  ++round;
+  if (routed && !overlay_->group_available(home, round, blocked_per_round)) {
+    routed = false;
+  }
+  rounds = round;
+  return routed;
+}
+
+RobustStore::ServeResult RobustStore::serve_one(
+    const Request& request, std::uint64_t entry_group,
+    std::span<const sim::BlockedSet> blocked_per_round) {
+  ServeResult result;
+  const std::uint64_t home = home_supernode(request.key);
+  std::size_t rounds = 0;
+  result.ok =
+      route_to_home(entry_group, home, blocked_per_round, rounds, nullptr);
+  result.rounds = static_cast<sim::Round>(rounds);
+  if (!result.ok) return result;
+  if (request.is_write) {
+    shards_[home][request.key] = request.value;
+    return result;
+  }
+  const auto shard = shards_.find(home);
+  if (shard != shards_.end()) {
+    const auto record = shard->second.find(request.key);
+    if (record != shard->second.end()) {
+      result.found = true;
+      result.value = record->second;
+    }
+  }
+  return result;
+}
+
 RobustStore::BatchReport RobustStore::execute(
     std::span<const Request> requests,
     std::span<const sim::BlockedSet> blocked_per_round, support::Rng& rng) {
@@ -46,39 +109,11 @@ RobustStore::BatchReport RobustStore::execute(
   for (const auto& request : requests) {
     (request.is_write ? report.writes : report.reads) += 1;
     // The request enters the overlay at a uniformly random group.
-    std::uint64_t at = rng.below(cube.size());
+    const std::uint64_t at = rng.below(cube.size());
     const std::uint64_t home = home_supernode(request.key);
-
-    // Greedy digit-fixing route; hop h occupies pipeline round h.
-    bool routed = true;
     std::size_t round = 0;
-    ++congestion[at];
-    if (!overlay_->group_available(at, round, blocked_per_round)) {
-      routed = false;
-    }
-    while (routed && at != home) {
-      std::uint64_t next = at;
-      for (int digit = 0; digit < cube.dimension(); ++digit) {
-        const int want = cube.digit(home, digit);
-        if (cube.digit(at, digit) != want) {
-          next = cube.with_digit(at, digit, want);
-          break;
-        }
-      }
-      ++round;
-      ++congestion[next];
-      if (!overlay_->group_available(next, round, blocked_per_round)) {
-        routed = false;
-        break;
-      }
-      at = next;
-    }
-    // One final round for the home group to serve the request.
-    ++round;
-    if (routed &&
-        !overlay_->group_available(home, round, blocked_per_round)) {
-      routed = false;
-    }
+    const bool routed =
+        route_to_home(at, home, blocked_per_round, round, &congestion);
     report.rounds = std::max(report.rounds, static_cast<sim::Round>(round));
     if (!routed) {
       ++report.routing_failures;

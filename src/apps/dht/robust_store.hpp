@@ -51,6 +51,14 @@ class RobustStore {
     std::size_t max_group_congestion = 0;  ///< hops through busiest group
   };
 
+  /// Outcome of one individually routed request (serve_one).
+  struct ServeResult {
+    bool ok = false;     ///< every hop had an available group
+    bool found = false;  ///< reads only: record was present
+    Value value = 0;
+    sim::Round rounds = 0;  ///< pipeline rounds consumed (hops + serve)
+  };
+
   explicit RobustStore(KaryGroupedOverlay* overlay);
 
   /// Serves one batch of requests under per-round blocking. Each request is
@@ -60,6 +68,12 @@ class RobustStore {
   BatchReport execute(std::span<const Request> requests,
                       std::span<const sim::BlockedSet> blocked_per_round,
                       support::Rng& rng);
+
+  /// Routes and serves a single request entering at `entry_group` (the
+  /// workload driver draws the entry itself so it can account per-group
+  /// capacity). Same digit-fixing route and blocking rule as execute().
+  ServeResult serve_one(const Request& request, std::uint64_t entry_group,
+                        std::span<const sim::BlockedSet> blocked_per_round);
 
   /// Runs one reconfiguration epoch of the underlying overlay. Records are
   /// replicated per group, so they survive exactly when the epoch succeeds
@@ -87,6 +101,16 @@ class RobustStore {
   void deposit(Key key, Value value);
 
  private:
+  /// Greedy digit-fixing route from `at` to `home` under per-round blocking;
+  /// returns false when some hop (or the final serve round) had no available
+  /// group. `rounds` receives the pipeline rounds consumed either way;
+  /// per-group hop counts accumulate into `congestion` when non-null.
+  bool route_to_home(std::uint64_t at, std::uint64_t home,
+                     std::span<const sim::BlockedSet> blocked_per_round,
+                     std::size_t& rounds,
+                     std::unordered_map<std::uint64_t, std::size_t>* congestion)
+      const;
+
   KaryGroupedOverlay* overlay_;
   /// shard per home supernode; the whole home group replicates it.
   std::unordered_map<std::uint64_t, std::unordered_map<Key, Value>> shards_;

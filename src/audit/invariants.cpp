@@ -431,4 +431,19 @@ std::vector<Violation> check_blocked_budget(
   return out;
 }
 
+std::vector<Violation> check_request_conservation(std::uint64_t issued,
+                                                  std::uint64_t completed,
+                                                  std::uint64_t failed,
+                                                  std::uint64_t in_flight) {
+  std::vector<Violation> out;
+  if (issued != completed + failed + in_flight) {
+    add(out, "workload.conservation",
+        "request accounting broken: issued " + std::to_string(issued) +
+            " != completed " + std::to_string(completed) + " + failed " +
+            std::to_string(failed) + " + in-flight " +
+            std::to_string(in_flight));
+  }
+  return out;
+}
+
 }  // namespace reconfnet::audit

@@ -169,4 +169,15 @@ struct DeliveryRecord {
     const sim::BlockedSet& blocked, std::size_t budget,
     const std::unordered_set<sim::NodeId>& known_ids);
 
+// --- Workload request conservation (DESIGN.md §12) --------------------------
+
+/// Open-loop request accounting: every issued request is completed, failed,
+/// or still in flight — issued == completed + failed + in_flight. The
+/// workload driver enforces this at every round boundary, passing its
+/// physical queue occupancy as `in_flight`, so a request leaked between the
+/// queue and the tracker fails loudly instead of skewing the latency tail.
+[[nodiscard]] std::vector<Violation> check_request_conservation(
+    std::uint64_t issued, std::uint64_t completed, std::uint64_t failed,
+    std::uint64_t in_flight);
+
 }  // namespace reconfnet::audit

@@ -1,0 +1,60 @@
+#include "support/percentiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reconfnet::support {
+
+Percentiles::Percentiles(std::uint64_t max_value)
+    : buckets_(static_cast<std::size_t>(max_value) + 1, 0) {
+  if (max_value == 0) {
+    throw std::invalid_argument("Percentiles: max_value must be positive");
+  }
+}
+
+void Percentiles::merge(const Percentiles& other) {
+  if (other.buckets_.size() != buckets_.size()) {
+    throw std::invalid_argument("Percentiles::merge: max_value mismatch");
+  }
+  if (other.total_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (total_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  total_ += other.total_;
+  overflow_ += other.overflow_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t Percentiles::percentile(double q) const {
+  if (q <= 0.0 || q > 1.0) {
+    throw std::invalid_argument("Percentiles::percentile: q must be in (0,1]");
+  }
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t v = 0; v < buckets_.size(); ++v) {
+    seen += buckets_[v];
+    if (seen >= target) return static_cast<std::uint64_t>(v);
+  }
+  return static_cast<std::uint64_t>(buckets_.size()) - 1;
+}
+
+double Percentiles::mean() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace reconfnet::support

@@ -1,0 +1,82 @@
+// Fixed-bucket percentile accumulator shared by the workload engine's
+// latency histogram and the bench tables (ISSUE 7 satellite: one reusable
+// helper instead of ad-hoc sorting in bench code).
+//
+// The accumulator counts exact occurrences of every integer value in
+// [0, max_value] plus one overflow bucket, so percentile(q) is *exact* for
+// in-range values (the smallest value whose CDF reaches q), merge() is a
+// plain bucket sum (mergeable across trials and threads), and add() touches
+// one counter — no allocation, no sort, O(1) per observation. Values are
+// expected to be small non-negative integers (latencies in rounds, group
+// sizes); anything above max_value clamps into the overflow bucket and is
+// visible through overflow().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace reconfnet::support {
+
+class Percentiles {
+ public:
+  /// Buckets cover [0, max_value]; larger observations clamp into the
+  /// overflow bucket (reported as max_value by percentile()).
+  explicit Percentiles(std::uint64_t max_value = 4095);
+
+  /// Records one observation. Allocation-free: the bucket table is sized at
+  /// construction (pinned by the workload.steady_request budget).
+  void add(std::uint64_t value) noexcept {
+    ++total_;
+    sum_ += value;
+    if (total_ == 1 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+    if (value >= buckets_.size()) {
+      ++overflow_;
+      ++buckets_.back();
+      return;
+    }
+    ++buckets_[static_cast<std::size_t>(value)];
+  }
+
+  /// Adds every observation of `other` (bucket-wise; requires the same
+  /// max_value). Exact: merging then querying equals querying the union.
+  void merge(const Percentiles& other);
+
+  /// Exact q-quantile of the recorded values: the smallest value v whose
+  /// cumulative count reaches ceil(q * count). Requires 0 < q <= 1; an empty
+  /// accumulator yields 0. Values clamped into the overflow bucket report
+  /// max_value.
+  [[nodiscard]] std::uint64_t percentile(double q) const;
+
+  [[nodiscard]] std::uint64_t p50() const { return percentile(0.50); }
+  [[nodiscard]] std::uint64_t p99() const { return percentile(0.99); }
+  [[nodiscard]] std::uint64_t p999() const { return percentile(0.999); }
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t min() const { return total_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const;
+  /// Observations clamped into the overflow bucket.
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t max_value() const {
+    return static_cast<std::uint64_t>(buckets_.size()) - 1;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // [0, max_value] + shared overflow
+  std::uint64_t total_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Linear-interpolation percentile of an already-sorted sample, the exact
+/// scheme support::summarize always used (q * (n-1) positional rank).
+/// Shared so bench code and stats.cpp agree on one definition.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
+
+}  // namespace reconfnet::support

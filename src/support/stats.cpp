@@ -6,17 +6,10 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "support/percentiles.hpp"
+
 namespace reconfnet::support {
 namespace {
-
-double percentile(std::span<const double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
 
 // Lower regularized incomplete gamma P(a, x) by series expansion; valid for
 // x < a + 1.
@@ -71,9 +64,9 @@ Summary summarize(std::span<const double> values) {
   s.stddev = sorted.size() > 1
                  ? std::sqrt(sq / static_cast<double>(sorted.size() - 1))
                  : 0.0;
-  s.p50 = percentile(sorted, 0.50);
-  s.p95 = percentile(sorted, 0.95);
-  s.p99 = percentile(sorted, 0.99);
+  s.p50 = percentile_sorted(sorted, 0.50);
+  s.p95 = percentile_sorted(sorted, 0.95);
+  s.p99 = percentile_sorted(sorted, 0.99);
   return s;
 }
 

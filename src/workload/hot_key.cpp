@@ -1,0 +1,223 @@
+#include "workload/hot_key.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace reconfnet::workload {
+
+/// Replication-flood payload (registered in tools/protocheck/protocol.toml).
+/// One (key, value) pair pushed from the hot key's home group to every other
+/// group over the group hypercube.
+struct ReplicaMsg {
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+};
+
+namespace {
+
+/// Fault-delayed flood copies land at most this many extra bus steps late;
+/// anything still pending after the drain window counts as dropped.
+constexpr std::size_t kMaxDrainSteps = 128;
+
+[[nodiscard]] std::size_t cache_line_of(std::uint64_t key, std::size_t slots) {
+  return static_cast<std::size_t>(support::splitmix64(key) %
+                                  static_cast<std::uint64_t>(slots));
+}
+
+}  // namespace
+
+HotKeyMitigator::HotKeyMitigator(const MitigationConfig& config,
+                                 std::size_t groups)
+    : config_(config), groups_(groups) {
+  if (!config_.enabled) return;
+  if (groups_ == 0) throw std::invalid_argument("HotKeyMitigator: groups == 0");
+  if (config_.top_k == 0) {
+    throw std::invalid_argument("HotKeyMitigator: top_k == 0");
+  }
+  // log2(groups) when groups is a power of two; otherwise the star fallback
+  // pushes every copy directly from the home group in a single round.
+  if ((groups_ & (groups_ - 1)) == 0) {
+    while ((std::size_t{1} << flood_rounds_) < groups_) ++flood_rounds_;
+  } else {
+    flood_rounds_ = 1;
+  }
+  const std::size_t counters = 2 * config_.top_k;
+  counter_key_.assign(counters, 0);
+  counter_count_.assign(counters, 0);
+  counter_replicated_.assign(counters, 0);
+  replica_key_.assign(config_.top_k, 0);
+  replica_value_.assign(config_.top_k, 0);
+  replica_active_.assign(config_.top_k, 0);
+  replica_has_.assign(config_.top_k * groups_, 0);
+  if (config_.cache_slots > 0) {
+    cache_key_.assign(groups_ * config_.cache_slots, 0);
+    cache_value_.assign(groups_ * config_.cache_slots, 0);
+    cache_expire_.assign(groups_ * config_.cache_slots, 0);
+  }
+}
+
+std::size_t HotKeyMitigator::replica_slot(std::uint64_t key) const {
+  for (std::size_t slot = 0; slot < replica_used_; ++slot) {
+    if (replica_key_[slot] == key) return slot;
+  }
+  return replica_used_;
+}
+
+bool HotKeyMitigator::observe(std::uint64_t key) {
+  if (!config_.enabled) return false;
+  // Space-saving sketch: an unseen key takes over the minimum-count slot and
+  // inherits its count (+1), so a persistently hot key's count is at most
+  // min-count too high — more than precise enough for a replicate trigger.
+  std::size_t found = counter_key_.size();
+  std::size_t min_slot = 0;
+  for (std::size_t slot = 0; slot < counter_key_.size(); ++slot) {
+    if (counter_count_[slot] > 0 && counter_key_[slot] == key) {
+      found = slot;
+      break;
+    }
+    if (counter_count_[slot] < counter_count_[min_slot]) min_slot = slot;
+  }
+  if (found == counter_key_.size()) {
+    found = min_slot;
+    counter_key_[found] = key;
+    counter_count_[found] = counter_count_[found] + 1;
+    counter_replicated_[found] = 0;
+  } else {
+    ++counter_count_[found];
+  }
+  if (counter_count_[found] < config_.replicate_threshold) return false;
+  if (counter_replicated_[found] != 0) return false;
+  if (replica_slot(key) < replica_used_) {
+    // Already replicated under an earlier counter incarnation (the sketch
+    // evicted and re-admitted the key); just restore the flag.
+    counter_replicated_[found] = 1;
+    return false;
+  }
+  if (replica_used_ >= config_.top_k) return false;  // table full
+  counter_replicated_[found] = 1;
+  return true;
+}
+
+void HotKeyMitigator::replicate(std::uint64_t key, std::uint64_t value,
+                                std::uint64_t home_group, sim::Round round) {
+  if (!config_.enabled) return;
+  std::size_t slot = replica_slot(key);
+  if (slot == replica_used_) {
+    if (replica_used_ >= config_.top_k) return;
+    slot = replica_used_++;
+    replica_key_[slot] = key;
+  }
+  replica_value_[slot] = value;
+  ++stats_.replications;
+  std::uint8_t* has = &replica_has_[slot * groups_];
+  std::fill(has, has + groups_, std::uint8_t{0});
+  has[home_group] = 1;
+
+  // The flood is real wire traffic: it runs on its own bus with the same
+  // fault hook as the rest of the workload, so lossy environments leave
+  // replica holes (groups that fall through to the routed slow path).
+  sim::Bus<ReplicaMsg> bus;
+  bus.set_fault_hook(hook_);
+  std::uint64_t sent = 0;
+  std::uint64_t landed = 0;
+  const auto absorb = [&](std::uint64_t group) {
+    for (const auto& envelope :
+         bus.inbox(static_cast<sim::NodeId>(group))) {
+      (void)envelope;
+      ++landed;
+      has[group] = 1;
+    }
+  };
+  if ((groups_ & (groups_ - 1)) == 0) {
+    // Dimension-order hypercube broadcast: in round i every holder forwards
+    // across dimension i, doubling the holder set — d rounds, 2^d - 1
+    // messages when lossless.
+    for (sim::Round dim = 0; dim < flood_rounds_; ++dim) {
+      for (std::uint64_t group = 0; group < groups_; ++group) absorb(group);
+      const std::uint64_t flip = std::uint64_t{1} << dim;
+      for (std::uint64_t group = 0; group < groups_; ++group) {
+        if (has[group] == 0) continue;
+        bus.send(static_cast<sim::NodeId>(group),
+                 static_cast<sim::NodeId>(group ^ flip),
+                 ReplicaMsg{key, value}, kHotKeyReplicaBits);
+        ++sent;
+      }
+      bus.step();
+    }
+  } else {
+    // Star fallback for non-power-of-two group counts.
+    for (std::uint64_t group = 0; group < groups_; ++group) {
+      if (group == home_group) continue;
+      bus.send(static_cast<sim::NodeId>(home_group),
+               static_cast<sim::NodeId>(group), ReplicaMsg{key, value},
+               kHotKeyReplicaBits);
+      ++sent;
+    }
+    bus.step();
+  }
+  // Absorb the final round's deliveries plus any fault-delayed copies.
+  for (std::size_t extra = 0;; ++extra) {
+    for (std::uint64_t group = 0; group < groups_; ++group) absorb(group);
+    if (bus.delayed_pending() == 0 || extra >= kMaxDrainSteps) break;
+    bus.step();
+  }
+  stats_.replica_messages += sent;
+  stats_.replica_bits += sent * kHotKeyReplicaBits;
+  if (sent > landed) stats_.replica_drops += sent - landed;
+  replica_active_[slot] = round + flood_rounds_;
+}
+
+void HotKeyMitigator::on_write(std::uint64_t key, std::uint64_t value,
+                               sim::Round round) {
+  if (!config_.enabled) return;
+  const std::size_t slot = replica_slot(key);
+  if (slot == replica_used_) return;
+  // Write-through refresh, modelled in place: the value updates everywhere
+  // the replica landed and one flood's worth of communication is charged.
+  // (A lost refresh would only extend the staleness the TTL contract already
+  // permits, so the refresh itself is not fault-exposed.)
+  replica_value_[slot] = value;
+  ++stats_.replications;
+  const std::uint64_t charged = groups_ > 0 ? groups_ - 1 : 0;
+  stats_.replica_messages += charged;
+  stats_.replica_bits += charged * kHotKeyReplicaBits;
+  (void)round;
+}
+
+bool HotKeyMitigator::serve_cached(std::uint64_t key, std::uint64_t entry_group,
+                                   sim::Round round, std::uint64_t& value) {
+  if (!config_.enabled) return false;
+  if (config_.cache_slots > 0) {
+    const std::size_t line = cache_line_of(key, config_.cache_slots);
+    const std::size_t index =
+        static_cast<std::size_t>(entry_group) * config_.cache_slots + line;
+    if (cache_expire_[index] > round && cache_key_[index] == key) {
+      value = cache_value_[index];
+      ++stats_.cache_hits;
+      return true;
+    }
+  }
+  const std::size_t slot = replica_slot(key);
+  if (slot < replica_used_ && replica_active_[slot] <= round &&
+      replica_has_[slot * groups_ + entry_group] != 0) {
+    value = replica_value_[slot];
+    ++stats_.replica_hits;
+    return true;
+  }
+  return false;
+}
+
+void HotKeyMitigator::fill_cache(std::uint64_t key, std::uint64_t value,
+                                 std::uint64_t entry_group, sim::Round round) {
+  if (!config_.enabled || config_.cache_slots == 0) return;
+  const std::size_t line = cache_line_of(key, config_.cache_slots);
+  const std::size_t index =
+      static_cast<std::size_t>(entry_group) * config_.cache_slots + line;
+  cache_key_[index] = key;
+  cache_value_[index] = value;
+  cache_expire_[index] = round + config_.cache_ttl;
+}
+
+}  // namespace reconfnet::workload

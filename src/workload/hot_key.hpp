@@ -1,0 +1,120 @@
+// Hot-key mitigation for the workload engine (DESIGN.md §12), extending the
+// T8b combining result from publishes to reads: under a Zipfian key
+// distribution the hottest key's home group saturates long before the
+// aggregate capacity does, so the engine (1) tracks the top-k keys with a
+// space-saving counter sketch, (2) replicates a key that crosses the
+// observation threshold to every group via a dimension-order flood over the
+// group hypercube (d rounds, 2^d - 1 messages, subject to the fault hook
+// like any other wire traffic), and (3) keeps a small direct-mapped TTL
+// cache per entry group filled by ordinary read completions. Reads that hit
+// a cache line or an activated replica are served at their entry group in
+// one round instead of routing dimension-many hops to the home group.
+//
+// Staleness contract: replicas are updated write-through (on_write), cache
+// lines expire after cache_ttl rounds — a cached read may return a value up
+// to cache_ttl rounds old (bounded staleness, documented in DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/bus.hpp"
+#include "sim/types.hpp"
+
+namespace reconfnet::workload {
+
+/// Wire cost of one replication-flood message: key + value + header
+/// (registered in tools/protocheck/protocol.toml).
+inline constexpr std::uint64_t kHotKeyReplicaBits = 64 + 64 + 16;
+
+struct MitigationConfig {
+  bool enabled = false;
+  /// Replica slots: at most this many keys are ever replicated.
+  std::size_t top_k = 8;
+  /// Observed reads of one key before it is replicated.
+  std::uint64_t replicate_threshold = 64;
+  /// Direct-mapped cache lines per entry group (0 disables the cache).
+  std::size_t cache_slots = 4;
+  /// Rounds a cache line stays valid (bounded staleness).
+  sim::Round cache_ttl = 16;
+};
+
+struct MitigationStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t replica_hits = 0;
+  std::uint64_t replications = 0;      ///< floods run (first copy + refresh)
+  std::uint64_t replica_messages = 0;  ///< flood messages sent
+  std::uint64_t replica_bits = 0;      ///< flood communication work
+  std::uint64_t replica_drops = 0;     ///< flood messages lost to faults
+};
+
+class HotKeyMitigator {
+ public:
+  /// `groups` is the number of entry groups (the overlay's supernode count).
+  HotKeyMitigator(const MitigationConfig& config, std::size_t groups);
+
+  /// Attaches the fault-injection hook consulted by the replication flood
+  /// (nullptr = lossless). The hook must outlive the mitigator.
+  void set_fault_hook(sim::DeliveryHook* hook) { hook_ = hook; }
+
+  /// Records one served read. Returns true when the key just crossed the
+  /// replication threshold and holds no replica yet — the caller should look
+  /// the value up and call replicate().
+  [[nodiscard]] bool observe(std::uint64_t key);
+
+  /// Floods (key, value) from its home group to every group. Groups missed
+  /// by fault-dropped flood messages do not receive the replica; the rest
+  /// serve it from round + flood_rounds() on.
+  void replicate(std::uint64_t key, std::uint64_t value,
+                 std::uint64_t home_group, sim::Round round);
+
+  /// Write-through refresh: updates an existing replica's value everywhere
+  /// it landed and charges one flood of communication work. No-op for keys
+  /// without a replica.
+  void on_write(std::uint64_t key, std::uint64_t value, sim::Round round);
+
+  /// Fast path for one read arriving at `entry_group`: returns true and
+  /// fills `value` when a live cache line or an activated replica serves it.
+  [[nodiscard]] bool serve_cached(std::uint64_t key, std::uint64_t entry_group,
+                                  sim::Round round, std::uint64_t& value);
+
+  /// Installs the result of an ordinary (routed) read into the entry group's
+  /// cache with the configured TTL.
+  void fill_cache(std::uint64_t key, std::uint64_t value,
+                  std::uint64_t entry_group, sim::Round round);
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  /// Rounds one flood takes: log2(groups), or 1 for the star fallback.
+  [[nodiscard]] sim::Round flood_rounds() const { return flood_rounds_; }
+  [[nodiscard]] const MitigationStats& stats() const { return stats_; }
+  [[nodiscard]] const MitigationConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::size_t replica_slot(std::uint64_t key) const;
+
+  MitigationConfig config_;
+  std::size_t groups_;
+  sim::Round flood_rounds_ = 0;
+  sim::DeliveryHook* hook_ = nullptr;
+
+  // Space-saving top-k sketch (fixed arrays, linear scan: top_k is small).
+  std::vector<std::uint64_t> counter_key_;
+  std::vector<std::uint64_t> counter_count_;
+  std::vector<std::uint8_t> counter_replicated_;
+
+  // Replica table: slot-major arrays; replica_has_[slot * groups_ + g].
+  std::vector<std::uint64_t> replica_key_;
+  std::vector<std::uint64_t> replica_value_;
+  std::vector<sim::Round> replica_active_;  ///< first round the replica serves
+  std::vector<std::uint8_t> replica_has_;
+  std::size_t replica_used_ = 0;
+
+  // Direct-mapped per-group cache: cache_*[g * cache_slots + line].
+  std::vector<std::uint64_t> cache_key_;
+  std::vector<std::uint64_t> cache_value_;
+  std::vector<sim::Round> cache_expire_;
+
+  MitigationStats stats_;
+};
+
+}  // namespace reconfnet::workload

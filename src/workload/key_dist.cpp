@@ -1,0 +1,61 @@
+#include "workload/key_dist.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace reconfnet::workload {
+
+KeyDist::KeyDist(const KeyDistConfig& config) : config_(config) {
+  if (config_.keyspace == 0) {
+    throw std::invalid_argument("KeyDist: keyspace must be positive");
+  }
+  if (config_.theta < 0.0) {
+    throw std::invalid_argument("KeyDist: theta must be non-negative");
+  }
+  const int bits = std::bit_width(config_.keyspace - 1);
+  mask_ = bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+  shift_ = std::max(1, bits / 2);
+  if (config_.theta == 0.0) return;  // uniform: no table needed
+  cum_.reserve(static_cast<std::size_t>(config_.keyspace));
+  double running = 0.0;
+  for (std::uint64_t r = 0; r < config_.keyspace; ++r) {
+    running += std::pow(static_cast<double>(r + 1), -config_.theta);
+    cum_.push_back(running);
+  }
+}
+
+std::uint64_t KeyDist::next_rank(support::Rng& rng) noexcept {
+  if (cum_.empty()) return rng.below(config_.keyspace);
+  const double u = rng.uniform() * cum_.back();
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+  const auto rank = static_cast<std::uint64_t>(it - cum_.begin());
+  return rank < config_.keyspace ? rank : config_.keyspace - 1;
+}
+
+std::uint64_t KeyDist::key_of_rank(std::uint64_t rank) const noexcept {
+  if (!config_.scramble) return rank;
+  // Cycle-walking bijection: each pass (odd-constant multiply + xorshift,
+  // both invertible mod 2^bits) permutes [0, mask_ + 1); walking until the
+  // image lands below keyspace restricts it to a permutation of
+  // [0, keyspace). The walk revisits at most the orbit of `rank`, and since
+  // keyspace > (mask_ + 1) / 2 it takes < 2 passes in expectation.
+  std::uint64_t x = rank;
+  do {
+    x = (x * 0x9E3779B97F4A7C15ULL) & mask_;
+    x ^= x >> shift_;
+    x = (x * 0xBF58476D1CE4E5B9ULL) & mask_;
+    x ^= x >> shift_;
+  } while (x >= config_.keyspace);
+  return x;
+}
+
+double KeyDist::expected_fraction(std::uint64_t rank) const {
+  if (rank >= config_.keyspace) return 0.0;
+  if (cum_.empty()) return 1.0 / static_cast<double>(config_.keyspace);
+  return std::pow(static_cast<double>(rank + 1), -config_.theta) /
+         cum_.back();
+}
+
+}  // namespace reconfnet::workload

@@ -1,0 +1,66 @@
+// Key distributions for the open-loop workload engine (DESIGN.md §12).
+//
+// KeyDist draws keys from a Zipfian or uniform distribution over a fixed
+// keyspace, YCSB-style: ranks are drawn by their popularity, then scrambled
+// through a cycle-walking multiply/xorshift bijection so the popular keys
+// are spread over the whole keyspace (and therefore over the whole DHT
+// group space) instead of clustering at the low ids. The scramble is a true
+// permutation of [0, keyspace) — no two ranks merge — so the uniform case
+// stays exactly uniform per key. The Zipfian draw inverts a precomputed cumulative-weight
+// table by binary search, which is exact for any theta (including theta >= 1,
+// where the classic Gray-formula approximation breaks down), consumes one
+// uniform per draw, and allocates nothing after construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace reconfnet::workload {
+
+struct KeyDistConfig {
+  /// Number of distinct keys; draws land in [0, keyspace).
+  std::uint64_t keyspace = 100000;
+  /// Zipfian skew: 0 = uniform, 0.99 = the YCSB default, >= 1 supported.
+  double theta = 0.0;
+  /// Scramble ranks over the keyspace (YCSB-style) so popularity is not
+  /// correlated with key value. Disable to make rank r map to key r, which
+  /// tests use to assert the distribution shape directly.
+  bool scramble = true;
+};
+
+class KeyDist {
+ public:
+  explicit KeyDist(const KeyDistConfig& config);
+
+  /// Draws one key in [0, keyspace). Allocation-free after construction.
+  [[nodiscard]] std::uint64_t next(support::Rng& rng) noexcept {
+    return key_of_rank(next_rank(rng));
+  }
+
+  /// Draws one popularity rank in [0, keyspace); rank 0 is the hottest.
+  [[nodiscard]] std::uint64_t next_rank(support::Rng& rng) noexcept;
+
+  /// The key a rank maps to (identity unless scrambling is on).
+  [[nodiscard]] std::uint64_t key_of_rank(std::uint64_t rank) const noexcept;
+
+  /// Expected fraction of draws hitting the given rank; tests compare the
+  /// empirical histogram against this.
+  [[nodiscard]] double expected_fraction(std::uint64_t rank) const;
+
+  [[nodiscard]] std::uint64_t keyspace() const { return config_.keyspace; }
+  [[nodiscard]] const KeyDistConfig& config() const { return config_; }
+
+ private:
+  KeyDistConfig config_;
+  /// Cumulative Zipf weights, cum_[r] = sum_{i<=r} (i+1)^-theta; empty for
+  /// the uniform case (theta == 0), where below() is exact and cheaper.
+  std::vector<double> cum_;
+  /// Scramble domain: mask_ = 2^ceil(log2 keyspace) - 1; shift_ feeds the
+  /// xorshift half-round. Precomputed so key_of_rank stays branch-light.
+  std::uint64_t mask_ = 0;
+  int shift_ = 1;
+};
+
+}  // namespace reconfnet::workload

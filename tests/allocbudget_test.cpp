@@ -24,6 +24,8 @@
 #include "sim/types.hpp"
 #include "support/alloc_counter.hpp"
 #include "support/rng.hpp"
+#include "workload/adapters.hpp"
+#include "workload/driver.hpp"
 
 namespace reconfnet {
 namespace {
@@ -159,6 +161,63 @@ TEST(AllocBudget, ChurnOverlaySteadyEpochStaysUnderBudget) {
       << "steady epochs allocated " << used.allocations << " times over "
       << measured_rounds << " rounds (" << per_round << "/round, budget "
       << budget << ")";
+}
+
+// --- workload steady state --------------------------------------------------
+
+/// Allocations of one full workload run at the given round count (setup
+/// included); the steady-state figure is the difference between two run
+/// lengths, which cancels the identical construction/reset costs.
+std::uint64_t workload_run_allocations(std::uint64_t total_rounds,
+                                       std::uint64_t n, std::uint64_t keyspace,
+                                       double rate) {
+  workload::DhtAdapterConfig adapter_config;
+  adapter_config.size = static_cast<std::size_t>(n);
+  adapter_config.prefill_keys = keyspace;
+  adapter_config.seed = 0xA110C;
+  workload::DhtAdapter adapter(adapter_config);
+  workload::DriverConfig config;
+  config.rounds = static_cast<std::size_t>(total_rounds);
+  config.write_fraction = 0.0;  // reads only: shard writes may rehash
+  config.keys.keyspace = keyspace;
+  config.arrivals.rate = rate;
+  config.audit = false;
+  workload::WorkloadDriver driver(config, &adapter);
+  support::Rng master(0xA110C);
+  support::AllocCounter scope;
+  const auto report = driver.run(master);
+  EXPECT_GT(report.completed, 0u);
+  return scope.delta().allocations;
+}
+
+/// The per-request serving path (workload-driver-rounds, workload-tracker-
+/// leaves, workload-keydist-leaves hotpaths): once the queue, tracker pool
+/// and histogram have warmed up, extending a run by more serving rounds must
+/// allocate nothing — the budget pins the marginal cost at zero.
+TEST(AllocBudget, WorkloadSteadyRequestRoundsAreAllocationFree) {
+  ASSERT_TRUE(support::alloc_counting_available());
+  const std::uint64_t n = budget_value("workload.steady_request", "n");
+  const std::uint64_t keyspace =
+      budget_value("workload.steady_request", "keyspace");
+  const std::uint64_t warmup =
+      budget_value("workload.steady_request", "warmup_rounds");
+  const std::uint64_t rounds = budget_value("workload.steady_request", "rounds");
+  const auto rate = static_cast<double>(
+      budget_value("workload.steady_request", "requests_per_round"));
+  const std::uint64_t budget =
+      budget_value("workload.steady_request", "allocs_per_round");
+
+  const std::uint64_t base = workload_run_allocations(warmup, n, keyspace, rate);
+  const std::uint64_t full =
+      workload_run_allocations(warmup + rounds, n, keyspace, rate);
+  ASSERT_GE(full, base);  // both runs share an identical setup prefix
+  const std::uint64_t marginal = full - base;
+  std::cout << "[ measured ] workload.steady_request: " << marginal
+            << " allocations over " << rounds << " extra rounds (budget "
+            << budget << "/round)\n";
+  EXPECT_LE(marginal, budget * rounds)
+      << "extending a workload run by " << rounds << " rounds allocated "
+      << marginal << " times";
 }
 
 }  // namespace

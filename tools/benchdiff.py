@@ -1,21 +1,31 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON result files by real_time.
+"""Compare two benchmark JSON result files.
 
-Used by CI as a *non-blocking* drift report: the committed baseline
-(bench/baselines/BENCH_micro.json) was recorded on one machine, CI runs on
-another, so absolute times are only comparable up to a large noise factor.
-The default tolerance (--tolerance 0.5, i.e. a 1.5x slowdown) is therefore
-deliberately loose, and the exit code is 0 unless --fail-on-regression is
-passed.
+Two input formats are auto-detected (both files must share one):
+
+* google-benchmark JSON (top-level "benchmarks" array): compares real_time
+  per benchmark. Wall times recorded on different machines are only
+  comparable up to a large noise factor, so the default tolerance is loose
+  (--tolerance 0.5, i.e. a 1.5x slowdown) and callers gating CI should pick
+  an even looser one (the bench-smoke job uses 4.0).
+
+* reconfnet-bench-v1 (top-level "schema" key, written by bench/common.hpp):
+  compares every (group, metric) series over the labels both files contain.
+  These are deterministic simulation outputs, not wall times, so the default
+  comparison is EXACT; pass --tolerance to allow a relative drift on the
+  series means instead (useful across libm versions, whose pow() ulps can
+  flip individual Zipfian draws). Labels present in only one file are
+  reported but never fatal, which lets a --smoke run (a prefix of the full
+  cell list with identical per-cell seeds) be diffed against a full-run
+  baseline.
 
 Usage:
-  tools/benchdiff.py BASELINE CURRENT [--tolerance 0.5]
-                     [--fail-on-regression]
+  tools/benchdiff.py BASELINE CURRENT [--tolerance F] [--fail-on-regression]
 
 Exit codes:
   0  compared cleanly (regressions are reported but not fatal by default)
-  1  --fail-on-regression was given and at least one benchmark regressed
-  2  an input file is missing or not google-benchmark JSON
+  1  --fail-on-regression was given and at least one entry regressed
+  2  an input file is missing, malformed, or the formats differ
 """
 
 import argparse
@@ -23,53 +33,42 @@ import json
 import sys
 
 
-def load_benchmarks(path):
-    """Returns {name: (real_time, time_unit)} for the iteration entries."""
+def load(path):
+    """Returns ("gbench", {name: (real_time, unit)}) or
+    ("bench-v1", {(group, metric): [values...]})."""
     try:
         with open(path, encoding="utf-8") as handle:
             data = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
         print(f"benchdiff: cannot read {path}: {error}", file=sys.stderr)
         raise SystemExit(2)
-    if "benchmarks" not in data:
-        print(f"benchdiff: {path} has no 'benchmarks' array "
-              "(not google-benchmark JSON?)", file=sys.stderr)
-        raise SystemExit(2)
-    out = {}
-    for entry in data["benchmarks"]:
-        # Skip aggregate rows (mean/median/stddev) when repetitions are on;
-        # the per-iteration rows carry run_type == 'iteration' (or no
-        # run_type at all in older library versions).
-        if entry.get("run_type", "iteration") != "iteration":
-            continue
-        out[entry["name"]] = (float(entry["real_time"]),
-                              entry.get("time_unit", "ns"))
-    return out
+    if data.get("schema") == "reconfnet-bench-v1":
+        out = {}
+        for entry in data.get("metrics", []):
+            out[(entry["group"], entry["name"])] = [
+                float(v) for v in entry["values"]]
+        return "bench-v1", out
+    if "benchmarks" in data:
+        out = {}
+        for entry in data["benchmarks"]:
+            # Skip aggregate rows (mean/median/stddev) when repetitions are
+            # on; the per-iteration rows carry run_type == 'iteration' (or no
+            # run_type at all in older library versions).
+            if entry.get("run_type", "iteration") != "iteration":
+                continue
+            out[entry["name"]] = (float(entry["real_time"]),
+                                  entry.get("time_unit", "ns"))
+        return "gbench", out
+    print(f"benchdiff: {path} is neither google-benchmark JSON nor "
+          "reconfnet-bench-v1", file=sys.stderr)
+    raise SystemExit(2)
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="google-benchmark real_time comparator")
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--tolerance", type=float, default=0.5,
-                        help="allowed fractional slowdown before a benchmark "
-                             "counts as regressed (default 0.5 = 1.5x)")
-    parser.add_argument("--fail-on-regression", action="store_true",
-                        help="exit 1 when any benchmark regressed")
-    args = parser.parse_args()
-
-    base = load_benchmarks(args.baseline)
-    curr = load_benchmarks(args.current)
-
+def diff_gbench(base, curr, tolerance):
+    """Real-time ratios; returns the list of regressed benchmark names."""
     shared = sorted(set(base) & set(curr))
-    only_base = sorted(set(base) - set(curr))
-    only_curr = sorted(set(curr) - set(base))
-
     regressed = []
     width = max((len(name) for name in shared), default=0)
-    print(f"benchdiff: {args.baseline} -> {args.current} "
-          f"(tolerance {args.tolerance:+.0%})")
     for name in shared:
         base_time, base_unit = base[name]
         curr_time, curr_unit = curr[name]
@@ -80,23 +79,82 @@ def main():
             continue
         ratio = (curr_time / base_time) if base_time > 0 else float("inf")
         flag = ""
-        if ratio > 1.0 + args.tolerance:
+        if ratio > 1.0 + tolerance:
             flag = "  REGRESSED"
             regressed.append(name)
-        elif ratio < 1.0 - args.tolerance:
+        elif ratio < 1.0 - tolerance:
             flag = "  improved"
         print(f"  {name:<{width}}  {base_time:>12.1f} -> {curr_time:>12.1f} "
               f"{base_unit}  ({ratio:5.2f}x){flag}")
-    for name in only_base:
+    return shared, regressed
+
+
+def diff_bench_v1(base, curr, tolerance):
+    """Exact (or mean-relative) series comparison; returns regressed keys."""
+    shared = sorted(set(base) & set(curr))
+    regressed = []
+    matched = 0
+    for key in shared:
+        label = f"{key[0]} :: {key[1]}"
+        base_values, curr_values = base[key], curr[key]
+        if tolerance is None:
+            if base_values == curr_values:
+                matched += 1
+                continue
+            print(f"  {label}  DIFFERS {base_values} -> {curr_values}")
+            regressed.append(label)
+            continue
+        base_mean = sum(base_values) / len(base_values) if base_values else 0.0
+        curr_mean = sum(curr_values) / len(curr_values) if curr_values else 0.0
+        scale = max(abs(base_mean), abs(curr_mean))
+        drift = abs(curr_mean - base_mean)
+        if drift <= tolerance * scale:
+            matched += 1
+            continue
+        print(f"  {label}  DRIFTED {base_mean:g} -> {curr_mean:g} "
+              f"(|d| = {drift:g} > {tolerance:.0%} of {scale:g})")
+        regressed.append(label)
+    mode = "exactly" if tolerance is None else f"within {tolerance:.0%}"
+    print(f"  {matched} of {len(shared)} shared series matched {mode}")
+    return shared, regressed
+
+
+def main():
+    parser = argparse.ArgumentParser(description="benchmark JSON comparator")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional drift; default 0.5 for "
+                             "google-benchmark real_time, exact comparison "
+                             "for reconfnet-bench-v1 metrics")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any entry regressed")
+    args = parser.parse_args()
+
+    base_kind, base = load(args.baseline)
+    curr_kind, curr = load(args.current)
+    if base_kind != curr_kind:
+        print(f"benchdiff: format mismatch ({base_kind} vs {curr_kind})",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+    print(f"benchdiff [{base_kind}]: {args.baseline} -> {args.current}")
+    if base_kind == "gbench":
+        tolerance = 0.5 if args.tolerance is None else args.tolerance
+        shared, regressed = diff_gbench(base, curr, tolerance)
+    else:
+        shared, regressed = diff_bench_v1(base, curr, args.tolerance)
+
+    for name in sorted(set(base) - set(curr)):
         print(f"  {name}: missing from current run")
-    for name in only_curr:
+    for name in sorted(set(curr) - set(base)):
         print(f"  {name}: new (no baseline)")
 
     if not shared:
-        print("benchdiff: no overlapping benchmarks to compare")
+        print("benchdiff: no overlapping entries to compare")
     if regressed:
-        print(f"benchdiff: {len(regressed)} of {len(shared)} benchmarks "
-              f"exceeded the tolerance: {', '.join(regressed)}")
+        print(f"benchdiff: {len(regressed)} of {len(shared)} entries "
+              "exceeded the tolerance")
         if args.fail_on_regression:
             return 1
     return 0
