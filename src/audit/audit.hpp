@@ -65,7 +65,9 @@ struct Stats {
 
 namespace detail {
 
+// reconfnet-racecheck: allow(RNR505) on/off flag read by workers; never data
 inline std::atomic<bool>& enabled_flag() {
+  // reconfnet-racecheck: allow(RNR505) written once before workers exist
   static std::atomic<bool> flag = [] {
 #ifdef RECONFNET_AUDIT_DEFAULT_ON
     bool on = true;
@@ -86,12 +88,16 @@ inline std::atomic<bool>& enabled_flag() {
   return flag;
 }
 
+// reconfnet-racecheck: allow(RNR505) relaxed diagnostic tally, not a result
 inline std::atomic<std::uint64_t>& checks_counter() {
+  // reconfnet-racecheck: allow(RNR505) monotonic; order never observed
   static std::atomic<std::uint64_t> counter{0};
   return counter;
 }
 
+// reconfnet-racecheck: allow(RNR505) relaxed diagnostic tally, not a result
 inline std::atomic<std::uint64_t>& violations_counter() {
+  // reconfnet-racecheck: allow(RNR505) monotonic; order never observed
   static std::atomic<std::uint64_t> counter{0};
   return counter;
 }

@@ -1,0 +1,141 @@
+#include "runtime/racecheck.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+
+namespace reconfnet::runtime::racecheck {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag = [] {
+#ifdef RECONFNET_RACECHECK_DEFAULT_ON
+    bool on = true;
+#else
+    bool on = false;
+#endif
+    // Read once inside the function-local static's initializer, which the
+    // runtime serialises before any worker thread can reach the flag.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded static init
+    if (const char* env = std::getenv("RECONFNET_RACECHECK")) {
+      const std::string_view value(env);
+      on = !(value == "0" || value == "off" || value == "false" ||
+             value.empty());
+    }
+    return on;
+  }();
+  return flag;
+}
+
+std::atomic<Schedule> g_schedule{Schedule::kNatural};
+std::atomic<std::uint64_t> g_schedule_seed{0};
+
+/// One open parallel region: which slots have been written, and what went
+/// wrong. Regions form a stack (fan-outs nest) but are looked up by id so an
+/// inner region closing out of order cannot corrupt an outer one.
+struct RegionState {
+  std::size_t id = 0;
+  std::vector<std::uint8_t> written;  // one flag per shard slot
+  std::vector<std::string> violations;
+};
+
+struct Tracker {
+  std::mutex mutex;
+  std::vector<RegionState> open;  // innermost last
+  std::size_t next_id = 1;
+};
+
+Tracker& tracker() {
+  static Tracker instance;
+  return instance;
+}
+
+/// The innermost (region, shard index) frames of the current thread. Plain
+/// thread_local state: every pool worker and the submitting thread each see
+/// only their own stack.
+thread_local std::vector<std::pair<std::size_t, std::size_t>> t_frames;
+
+RegionState* find_region(Tracker& t, std::size_t id) {
+  for (auto it = t.open.rbegin(); it != t.open.rend(); ++it) {
+    if (it->id == id) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void set_schedule(Schedule schedule, std::uint64_t seed) {
+  g_schedule.store(schedule, std::memory_order_relaxed);
+  g_schedule_seed.store(seed, std::memory_order_relaxed);
+}
+
+Schedule schedule() { return g_schedule.load(std::memory_order_relaxed); }
+
+std::uint64_t schedule_seed() {
+  return g_schedule_seed.load(std::memory_order_relaxed);
+}
+
+std::size_t on_region_begin(std::size_t task_count) {
+  if (!enabled()) return kNoRegion;
+  Tracker& t = tracker();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  RegionState region;
+  region.id = t.next_id++;
+  region.written.assign(task_count, 0);
+  t.open.push_back(std::move(region));
+  return t.open.back().id;
+}
+
+std::vector<std::string> on_region_end(std::size_t region) {
+  if (region == kNoRegion) return {};
+  Tracker& t = tracker();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  for (auto it = t.open.begin(); it != t.open.end(); ++it) {
+    if (it->id != region) continue;
+    std::vector<std::string> violations = std::move(it->violations);
+    t.open.erase(it);
+    return violations;
+  }
+  return {};
+}
+
+TaskScope::TaskScope(std::size_t region, std::size_t index) {
+  if (region == kNoRegion) return;
+  t_frames.emplace_back(region, index);
+  pushed_ = true;
+}
+
+TaskScope::~TaskScope() {
+  if (pushed_) t_frames.pop_back();
+}
+
+void note_slot_write(std::size_t slot) {
+  if (!enabled() || t_frames.empty()) return;
+  const auto [region_id, index] = t_frames.back();
+  Tracker& t = tracker();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  RegionState* region = find_region(t, region_id);
+  if (region == nullptr) return;  // region already closed (stale frame)
+  if (slot != index) {
+    region->violations.push_back(
+        "racecheck: task " + std::to_string(index) + " wrote slot " +
+        std::to_string(slot) + " it does not own");
+    return;
+  }
+  if (slot < region->written.size() && region->written[slot] != 0) {
+    region->violations.push_back("racecheck: slot " + std::to_string(slot) +
+                                 " written more than once in its region");
+    return;
+  }
+  if (slot < region->written.size()) region->written[slot] = 1;
+}
+
+}  // namespace reconfnet::runtime::racecheck

@@ -1,0 +1,91 @@
+// Dynamic half of the concurrency-safety checker (the static half is
+// tools/racecheck/, DESIGN.md §13).
+//
+// Two facilities, both off by default and toggled at runtime:
+//
+//   1. Logical ownership tracker. parallel_for() opens a *region* per
+//      fan-out; every task runs inside a thread-local frame carrying its
+//      (region, shard index). Registered per-shard slot writes call
+//      note_slot_write(slot), which asserts the PR-2 ownership discipline:
+//      slot i is written exactly once, by task i. Violations are collected
+//      per region and thrown as std::logic_error from the submitting thread
+//      when the region closes — turning a silent race into a deterministic
+//      test failure.
+//
+//   2. Schedule perturbation. set_schedule() changes the order in which
+//      parallel_for feeds tasks to the pool: reversed, seed-shuffled, or
+//      funnelled through a single queue so every other worker must steal
+//      (kStealStorm). The determinism contract says the schedule cannot leak
+//      into results; tests/racecheck_replay_test.cpp replays the runtime's
+//      parallel regions under all of them and asserts byte-identical output.
+//
+// Enabling: RECONFNET_RACECHECK=1 in the environment, set_enabled(true), or
+// building with -DRECONFNET_RACECHECK=ON (which flips the default). The
+// hooks are a relaxed atomic load when disabled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reconfnet::runtime::racecheck {
+
+/// Whether the ownership tracker is active. Reads RECONFNET_RACECHECK from
+/// the environment once (before any worker thread exists), like the audit
+/// layer's flag.
+bool enabled();
+
+/// Flips the tracker at runtime (tests use this; takes effect at the next
+/// region begin).
+void set_enabled(bool on);
+
+/// Task-submission orders parallel_for can replay a region under. kNatural
+/// is the production order; the others are adversarial schedules for the
+/// replay harness.
+enum class Schedule : std::uint8_t {
+  kNatural,     ///< submission order 0, 1, ..., n-1 (production)
+  kReverse,     ///< n-1, ..., 1, 0 — late shards run first
+  kSeeded,      ///< a seed-derived shuffle of the submission order
+  kStealStorm,  ///< natural order, but every task lands on worker 0's queue
+                ///< so all other workers only ever steal
+};
+
+/// Selects the submission schedule (and the shuffle seed for kSeeded).
+/// Applies to every subsequent parallel_for; independent of enabled().
+void set_schedule(Schedule schedule, std::uint64_t seed = 0);
+Schedule schedule();
+std::uint64_t schedule_seed();
+
+/// Sentinel returned by on_region_begin when the tracker is disabled.
+inline constexpr std::size_t kNoRegion = static_cast<std::size_t>(-1);
+
+/// Opens an ownership region of `task_count` shards; returns its id (or
+/// kNoRegion when disabled). Regions nest (a task may fan out again).
+std::size_t on_region_begin(std::size_t task_count);
+
+/// Closes the region and returns the ownership violations it accumulated
+/// (empty when clean or disabled). The caller decides how to fail; the
+/// runtime throws std::logic_error from the submitting thread.
+std::vector<std::string> on_region_end(std::size_t region);
+
+/// RAII thread-local frame tying the current thread to (region, shard
+/// index) for the duration of one task. No-op for kNoRegion.
+class TaskScope {
+ public:
+  TaskScope(std::size_t region, std::size_t index);
+  ~TaskScope();
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+/// Records that the current task wrote per-shard slot `slot`. Flags a
+/// violation when `slot` is not the task's own shard index or the slot was
+/// already written in this region. Ignored outside a task frame (serial
+/// helper paths) or when disabled.
+void note_slot_write(std::size_t slot);
+
+}  // namespace reconfnet::runtime::racecheck

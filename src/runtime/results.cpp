@@ -114,8 +114,8 @@ void BenchResults::write_file(const std::string& path) const {
 std::string build_git_describe() { return RECONFNET_GIT_DESCRIBE; }
 
 std::string iso8601_utc_now() {
-  // reconfnet-lint: allow(RNL003) generated_at stamp in the timing block,
-  // which sits outside the deterministic result payload
+  // The generated_at stamp sits in the timing block, outside the
+  // deterministic result payload.
   const std::time_t now =
       // reconfnet-lint: allow(RNL003) continuation of the timing stamp read
       std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());

@@ -3,8 +3,14 @@
 #include <algorithm>
 #include <exception>
 #include <limits>
+#include <span>
 #include <stdexcept>
+#include <string>
 #include <utility>
+#include <vector>
+
+#include "runtime/racecheck.hpp"
+#include "support/rng.hpp"
 
 namespace reconfnet::runtime {
 
@@ -30,14 +36,30 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  std::size_t target = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("ThreadPool::submit: pool is stopping");
     }
-    target = next_queue_;
+    const std::size_t target = next_queue_;
     next_queue_ = (next_queue_ + 1) % queues_.size();
+    {
+      std::lock_guard<std::mutex> queue_lock(queues_[target]->mutex);
+      queues_[target]->tasks.push_back(std::move(task));
+    }
+    ++queued_;
+    ++pending_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::submit_to(std::size_t queue, std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::submit_to: pool is stopping");
+    }
+    const std::size_t target = queue % queues_.size();
     {
       std::lock_guard<std::mutex> queue_lock(queues_[target]->mutex);
       queues_[target]->tasks.push_back(std::move(task));
@@ -104,21 +126,50 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   std::mutex error_mutex;
   std::exception_ptr first_error;
   std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
-  for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&, i] {
+
+  // Submission order: natural in production. The racecheck replay harness
+  // perturbs it (reverse / seeded shuffle / steal storm) — the determinism
+  // contract says the schedule cannot leak into the results, and
+  // tests/racecheck_replay_test.cpp holds the runtime to it.
+  const racecheck::Schedule schedule = racecheck::schedule();
+  std::vector<std::size_t> order(count);
+  for (std::size_t i = 0; i < count; ++i) order[i] = i;
+  if (schedule == racecheck::Schedule::kReverse) {
+    std::reverse(order.begin(), order.end());
+  } else if (schedule == racecheck::Schedule::kSeeded) {
+    support::Rng shuffle_rng(racecheck::schedule_seed());
+    shuffle_rng.shuffle(std::span<std::size_t>(order));
+  }
+
+  const std::size_t region = racecheck::on_region_begin(count);
+  for (const std::size_t i : order) {
+    auto task = [&, i, region] {
+      racecheck::TaskScope scope(region, i);
       try {
         fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (i < first_error_index) {
+          // reconfnet-racecheck: allow(RNR501) mutex-guarded min reduction
           first_error_index = i;
+          // reconfnet-racecheck: allow(RNR501) keyed by index: deterministic
           first_error = std::current_exception();
         }
       }
-    });
+    };
+    if (schedule == racecheck::Schedule::kStealStorm) {
+      pool.submit_to(0, std::move(task));
+    } else {
+      pool.submit(std::move(task));
+    }
   }
   pool.wait_idle();
+  const std::vector<std::string> violations = racecheck::on_region_end(region);
   if (first_error) std::rethrow_exception(first_error);
+  if (!violations.empty()) {
+    throw std::logic_error("parallel_for: ownership violation: " +
+                           violations.front());
+  }
 }
 
 }  // namespace reconfnet::runtime

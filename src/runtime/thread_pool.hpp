@@ -38,6 +38,12 @@ class ThreadPool {
   /// the pool is already stopping.
   void submit(std::function<void()> task);
 
+  /// Enqueues a task onto a specific worker's deque (modulo workers()),
+  /// bypassing the round-robin spread. The racecheck replay harness funnels
+  /// every task through queue 0 to force a steal-heavy schedule; results
+  /// must not depend on placement.
+  void submit_to(std::size_t queue, std::function<void()> task);
+
   /// Blocks until every task submitted so far has finished running.
   void wait_idle();
 

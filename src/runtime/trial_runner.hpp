@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/racecheck.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/rng.hpp"
 
@@ -62,10 +63,24 @@ class TrialRunner {
     std::vector<std::optional<Result>> slots(trials);
     auto run_one = [&](std::size_t i) {
       TrialContext context{i, trial_rng(master_seed_, i)};
+      racecheck::note_slot_write(i);
       slots[i].emplace(fn(context));
     };
     if (jobs_ <= 1 || trials <= 1) {
-      for (std::size_t i = 0; i < trials; ++i) run_one(i);
+      // The serial reference path runs under the same ownership tracking as
+      // the pool path, so a nested runner inside a parallel trial checks its
+      // own slots instead of inheriting the outer task's frame.
+      const std::size_t region = racecheck::on_region_begin(trials);
+      for (std::size_t i = 0; i < trials; ++i) {
+        racecheck::TaskScope scope(region, i);
+        run_one(i);
+      }
+      const std::vector<std::string> violations =
+          racecheck::on_region_end(region);
+      if (!violations.empty()) {
+        throw std::logic_error("TrialRunner: ownership violation: " +
+                               violations.front());
+      }
     } else {
       ThreadPool pool(std::min(jobs_, trials));
       parallel_for(pool, trials, run_one);

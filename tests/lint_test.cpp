@@ -297,4 +297,80 @@ TEST(TextscanToml, EmptyArrayValueYieldsNoItems) {
   EXPECT_TRUE(sections[0].entries[0].items.empty());
 }
 
+// --- shared SARIF writer ----------------------------------------------------
+// All four checkers emit through textscan::write_sarif; the umbrella driver
+// (tools/run_checks.sh) then merges the per-tool logs into one file, so the
+// writer must keep rule ids namespaced per run and mark suppressed results.
+// Findings from two different tools (lint RNL ids, racecheck RNR ids) in one
+// run pin that nothing in the writer assumes a single rule prefix.
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TextscanSarif, TwoToolRuleSetsShareOneRunWithoutCollisions) {
+  const std::vector<textscan::Finding> findings = {
+      {"src/support/rng.cpp", 12, "RNL004", "rand() call"},
+      {"src/runtime/pool.cpp", 40, "RNR501", "shared mutation \"total\""},
+      {"src/runtime/pool.cpp", 44, "RNR503", "writes slots[0]"},
+      {"src/support/rng.cpp", 30, "RNL004", "second rand() call"},
+  };
+  const std::vector<textscan::Finding> suppressed = {
+      {"bench/common.hpp", 7, "RNL003", "time() in timing block"},
+      {"src/runtime/pool.cpp", 52, "RNR501", "documented reduction"},
+  };
+  std::ostringstream out;
+  textscan::write_sarif(out, "reconfnet_checks", "tools/run_checks.sh",
+                        findings, suppressed);
+  const std::string sarif = out.str();
+
+  // Rule ids from both tools appear, deduplicated, in the driver's rules
+  // array — RNL004 has two results and RNR501 one live + one suppressed,
+  // but each descriptor is emitted once.
+  EXPECT_EQ(count_of(sarif, "{\"id\": \"RNL003\"}"), 1u);
+  EXPECT_EQ(count_of(sarif, "{\"id\": \"RNL004\"}"), 1u);
+  EXPECT_EQ(count_of(sarif, "{\"id\": \"RNR501\"}"), 1u);
+  EXPECT_EQ(count_of(sarif, "{\"id\": \"RNR503\"}"), 1u);
+
+  // Every finding becomes a result with its own region URI and line.
+  EXPECT_EQ(count_of(sarif, "\"uri\": \"src/support/rng.cpp\""), 2u);
+  EXPECT_EQ(count_of(sarif, "\"uri\": \"src/runtime/pool.cpp\""), 3u);
+  EXPECT_EQ(count_of(sarif, "\"uri\": \"bench/common.hpp\""), 1u);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 52"), std::string::npos);
+
+  // Exactly the two suppressed results carry an inSource suppression record.
+  EXPECT_EQ(count_of(sarif, "\"suppressions\": [{\"kind\": \"inSource\"}]"),
+            2u);
+  EXPECT_EQ(count_of(sarif, "\"ruleId\""), 6u);
+
+  // Message text is JSON-escaped.
+  EXPECT_NE(sarif.find("shared mutation \\\"total\\\""), std::string::npos);
+
+  // The whole log parses as the single-run SARIF 2.1.0 shape the merge step
+  // concatenates.
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_EQ(count_of(sarif, "\"name\": \"reconfnet_checks\""), 1u);
+}
+
+TEST(TextscanSarif, EmptyRunAndZeroLineAreWellFormed) {
+  std::ostringstream out;
+  textscan::write_sarif(out, "reconfnet_lint", "tools/lint/lint.hpp", {});
+  const std::string sarif = out.str();
+  EXPECT_NE(sarif.find("\"rules\": []"), std::string::npos);
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+
+  // A finding with no line number clamps to startLine 1 (SARIF requires a
+  // positive line).
+  std::ostringstream out2;
+  textscan::write_sarif(out2, "reconfnet_lint", "tools/lint/lint.hpp",
+                        {{"src/a.cpp", 0, "RNL001", "file-scope finding"}});
+  EXPECT_NE(out2.str().find("\"startLine\": 1"), std::string::npos);
+}
+
 }  // namespace

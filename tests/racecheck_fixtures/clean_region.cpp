@@ -1,0 +1,21 @@
+// Fixture: the canonical PR-2 pattern — every shared write goes through
+// slots[i], randomness is derived from the shard index, nothing else is
+// touched. Must produce zero findings.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct Pool {};
+void parallel_for(Pool& pool, std::size_t count, int fn);
+
+void drive(Pool& pool, std::size_t count) {
+  std::vector<double> slots(count);
+  const double scale = 2.0;
+  parallel_for(pool, count, [&](std::size_t i) {
+    Rng stream(master.split(i));
+    slots[i] = scale * stream.uniform();
+  });
+}
+
+}  // namespace fixture

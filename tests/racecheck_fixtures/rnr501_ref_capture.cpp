@@ -1,0 +1,19 @@
+// Fixture: RNR501 — a parallel body that captures mutable enclosing state
+// by reference and mutates it. `slots` is the declared per-shard slot and
+// stays legal; `total` is the violation (both the explicit capture and the
+// compound-assignment write fire).
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void drive(Pool& pool, std::size_t count) {
+  std::vector<int> slots(count);
+  long total = 0;
+  parallel_for(pool, count, [&total, &slots](std::size_t i) {
+    total += static_cast<long>(i);
+    slots[i] = static_cast<int>(i);
+  });
+}
+
+}  // namespace fixture

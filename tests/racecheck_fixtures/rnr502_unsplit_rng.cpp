@@ -1,0 +1,18 @@
+// Fixture: RNR502 — randomness that is not derived from the shard index.
+// `shared_rng` is a shared generator consumed from every shard (draw order
+// becomes schedule-dependent); `fixed` is a body-constructed Rng with a
+// constant seed (every shard draws the same stream).
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void drive(Pool& pool, std::size_t count, support::Rng& shared_rng) {
+  std::vector<double> slots(count);
+  parallel_for(pool, count, [&](std::size_t i) {
+    Rng fixed(12345);
+    slots[i] = shared_rng.uniform() + fixed.uniform();
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: RNR503 — container mutation indexed by something other than the
+// shard index: a neighbouring slot (i + 1) and a fixed cell (0). Both make
+// the result depend on task completion order.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void drive(Pool& pool, std::size_t count) {
+  std::vector<int> slots(count + 1);
+  parallel_for(pool, count, [&](std::size_t i) {
+    slots[i + 1] = static_cast<int>(i);
+    slots[0] = static_cast<int>(i);
+  });
+}
+
+}  // namespace fixture

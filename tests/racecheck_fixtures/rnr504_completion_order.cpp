@@ -1,0 +1,16 @@
+// Fixture: RNR504 — completion-order merging: the body grows a shared
+// container instead of writing a preallocated slot, so element order is
+// whatever the scheduler produced.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void drive(Pool& pool, std::size_t count) {
+  std::vector<int> merged;
+  parallel_for(pool, count, [&](std::size_t i) {
+    merged.push_back(static_cast<int>(i));
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: RNR505 — ad-hoc synchronization introduced outside src/runtime/.
+// Fed to the driver under a src/sim/ path; both the mutex member and the
+// lock_guard use fire.
+#include <mutex>
+
+namespace fixture {
+
+struct Cache {
+  std::mutex lock;
+  int value = 0;
+};
+
+int read_cache(Cache& cache) {
+  std::lock_guard<std::mutex> guard(cache.lock);
+  return cache.value;
+}
+
+}  // namespace fixture

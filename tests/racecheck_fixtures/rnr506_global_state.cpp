@@ -1,0 +1,21 @@
+// Fixture: RNR506 — a parallel body reaching known-global mutable state:
+// directly (the g_epoch assignment and read) and through a same-file helper
+// (bump(), caught by the one-level call-graph walk).
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+int g_epoch = 0;
+
+void bump() { ++g_epoch; }
+
+void drive(Pool& pool, std::size_t count) {
+  std::vector<int> slots(count);
+  parallel_for(pool, count, [&](std::size_t i) {
+    bump();
+    slots[i] = g_epoch;
+  });
+}
+
+}  // namespace fixture

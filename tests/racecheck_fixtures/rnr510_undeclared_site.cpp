@@ -1,0 +1,23 @@
+// Fixture: RNR510 (site leg) — a parallel dispatch site in a function with
+// no [[region]] entry covering it. The spec used by the test declares a
+// region for drive() only; rogue() is the drift.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void drive(Pool& pool, std::size_t count) {
+  std::vector<int> slots(count);
+  parallel_for(pool, count, [&](std::size_t i) {
+    slots[i] = static_cast<int>(i);
+  });
+}
+
+void rogue(Pool& pool, std::size_t count) {
+  std::vector<int> cells(count);
+  parallel_for(pool, count, [&](std::size_t i) {
+    cells[i] = static_cast<int>(i);
+  });
+}
+
+}  // namespace fixture

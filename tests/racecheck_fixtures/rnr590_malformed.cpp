@@ -1,0 +1,16 @@
+// Fixture: RNR590 — suppression comments that do not parse: a missing rule
+// id, a truncated allow(, and a rule id outside the tool's RNR namespace.
+#include <cstddef>
+
+namespace fixture {
+
+// reconfnet-racecheck: allow() forgot the rule id
+int a = 0;
+
+// reconfnet-racecheck: allow(RNR501 missing close paren
+int b = 0;
+
+// reconfnet-racecheck: allow(RNL101) wrong tool's rule id
+int c = 0;
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: inline suppression behaviour. The first region body carries a
+// reasoned allow that silences its RNR501; the final comment covers a line
+// the rule never fires on, so it shows up in the --stale-suppressions
+// report instead.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void drive(Pool& pool, std::size_t count) {
+  std::vector<int> slots(count);
+  long total = 0;
+  parallel_for(pool, count, [&](std::size_t i) {
+    // reconfnet-racecheck: allow(RNR501) fixture: documented reduction
+    total += static_cast<long>(i);
+    // reconfnet-racecheck: allow(RNR503) nothing here violates RNR503
+    slots[i] = static_cast<int>(i);
+  });
+}
+
+}  // namespace fixture

@@ -24,23 +24,32 @@ Usage:
 
 Exit codes:
   0  compared cleanly (regressions are reported but not fatal by default)
-  1  --fail-on-regression was given and at least one entry regressed
+  1  --fail-on-regression was given and at least one entry regressed, or
+     it was given and the files share no entries (a gate that compares
+     nothing must not pass)
   2  an input file is missing, malformed, or the formats differ
 """
 
 import argparse
 import json
+import os
 import sys
 
 
-def load(path):
+def load(path, role):
     """Returns ("gbench", {name: (real_time, unit)}) or
     ("bench-v1", {(group, metric): [values...]})."""
+    if not os.path.exists(path):
+        print(f"benchdiff: {role} file {path} does not exist"
+              + (" — record and commit it before enabling a gate on it"
+                 if role == "baseline" else ""), file=sys.stderr)
+        raise SystemExit(2)
     try:
         with open(path, encoding="utf-8") as handle:
             data = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
-        print(f"benchdiff: cannot read {path}: {error}", file=sys.stderr)
+        print(f"benchdiff: cannot read {role} {path}: {error}",
+              file=sys.stderr)
         raise SystemExit(2)
     if data.get("schema") == "reconfnet-bench-v1":
         out = {}
@@ -131,8 +140,8 @@ def main():
                         help="exit 1 when any entry regressed")
     args = parser.parse_args()
 
-    base_kind, base = load(args.baseline)
-    curr_kind, curr = load(args.current)
+    base_kind, base = load(args.baseline, "baseline")
+    curr_kind, curr = load(args.current, "current")
     if base_kind != curr_kind:
         print(f"benchdiff: format mismatch ({base_kind} vs {curr_kind})",
               file=sys.stderr)
@@ -152,6 +161,10 @@ def main():
 
     if not shared:
         print("benchdiff: no overlapping entries to compare")
+        if args.fail_on_regression:
+            print("benchdiff: refusing to pass a regression gate that "
+                  "compared nothing", file=sys.stderr)
+            return 1
     if regressed:
         print(f"benchdiff: {len(regressed)} of {len(shared)} entries "
               "exceeded the tolerance")

@@ -6,9 +6,13 @@
 
 namespace reconfnet::hotcheck {
 
+using textscan::FunctionBody;
+using textscan::LoopRange;
 using textscan::Tok;
 using textscan::bracket_is_close;
 using textscan::bracket_is_open;
+using textscan::collect_loops;
+using textscan::find_functions;
 using textscan::match_bracket;
 using textscan::skip_angles;
 using textscan::tok_is;
@@ -203,171 +207,6 @@ const std::set<std::string>& format_idents() {
   static const std::set<std::string> kFormat = {
       "to_string", "snprintf", "sprintf", "ostringstream", "stringstream"};
   return kFormat;
-}
-
-/// Keywords that can precede `name (` without `name` being a function
-/// definition.
-const std::set<std::string>& non_definition_preceders() {
-  static const std::set<std::string> kNot = {
-      "if",     "while", "for",   "switch", "return", "new",
-      "delete", "throw", "else",  "do",     "case",   "sizeof",
-      "goto",   "co_return", "co_await", "co_yield"};
-  return kNot;
-}
-
-/// One function definition found in a token stream. Ranges are token
-/// indices; `params` covers the tokens strictly inside the parameter list
-/// parens, `body` the tokens strictly inside the outermost braces.
-struct FunctionBody {
-  std::string name;
-  std::size_t line = 0;
-  std::size_t params_begin = 0;
-  std::size_t params_end = 0;
-  std::size_t body_begin = 0;
-  std::size_t body_end = 0;
-};
-
-/// Finds definitions of `name` in `toks`. Tolerates qualified names,
-/// trailing const/noexcept/ref-qualifiers, trailing return types and
-/// constructor initializer lists; rejects plain calls and declarations by
-/// requiring a `{` body reached through definition-shaped tokens only.
-std::vector<FunctionBody> find_functions(const std::vector<Tok>& toks,
-                                         const std::string& name) {
-  std::vector<FunctionBody> out;
-  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
-    if (toks[i].kind != Tok::Kind::kIdent || toks[i].text != name) continue;
-    if (!tok_is(toks, i + 1, "(")) continue;
-    const Tok& prev = toks[i - 1];
-    bool plausible = false;
-    if (prev.kind == Tok::Kind::kIdent) {
-      plausible = non_definition_preceders().count(prev.text) == 0;
-    } else {
-      plausible = prev.text == "::" || prev.text == ">" || prev.text == "*" ||
-                  prev.text == "&" || prev.text == "~";
-    }
-    if (!plausible) continue;
-
-    const std::size_t open = i + 1;
-    const std::size_t close = match_bracket(toks, open);
-    if (close >= toks.size()) continue;
-
-    // Walk from the parameter list to a `{` body through tokens only a
-    // definition can carry; anything else means call site or declaration.
-    std::size_t j = close + 1;
-    bool definition = false;
-    while (j < toks.size()) {
-      const std::string& t = toks[j].text;
-      if (t == "{") {
-        definition = true;
-        break;
-      }
-      if (t == "const" || t == "noexcept" || t == "override" || t == "final" ||
-          t == "mutable" || t == "&" || t == "&&") {
-        ++j;
-        continue;
-      }
-      if (t == "(") {  // noexcept(...) operand
-        j = match_bracket(toks, j);
-        if (j >= toks.size()) break;
-        ++j;
-        continue;
-      }
-      if (t == "->") {  // trailing return type
-        ++j;
-        while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") {
-          if (toks[j].text == "<") {
-            j = skip_angles(toks, j);
-            continue;
-          }
-          ++j;
-        }
-        continue;
-      }
-      if (t == ":") {  // constructor initializer list
-        ++j;
-        while (j < toks.size()) {
-          const std::string& u = toks[j].text;
-          if (u == "(" || u == "[") {
-            j = match_bracket(toks, j);
-            if (j >= toks.size()) break;
-            ++j;
-            continue;
-          }
-          if (u == "<") {
-            j = skip_angles(toks, j);
-            continue;
-          }
-          if (u == "{") {
-            // `member{...}` init follows an identifier or `>`; the body
-            // brace follows `)`/`}`/`,` instead.
-            if (toks[j - 1].kind == Tok::Kind::kIdent ||
-                toks[j - 1].text == ">") {
-              j = match_bracket(toks, j);
-              if (j >= toks.size()) break;
-              ++j;
-              continue;
-            }
-            break;
-          }
-          if (u == ";" || u == "}") break;
-          ++j;
-        }
-        continue;
-      }
-      break;
-    }
-    if (!definition || j >= toks.size()) continue;
-    const std::size_t body_close = match_bracket(toks, j);
-    if (body_close >= toks.size()) continue;
-    out.push_back({name, toks[i].line, open + 1, close, j + 1, body_close});
-    i = close;  // resume after the parameter list
-  }
-  return out;
-}
-
-/// Token range of one loop body (for/while/do) inside a function body.
-struct LoopRange {
-  std::size_t head = 0;  // token index of the loop keyword
-  std::size_t begin = 0;
-  std::size_t end = 0;
-};
-
-std::vector<LoopRange> collect_loops(const std::vector<Tok>& toks,
-                                     std::size_t begin, std::size_t end) {
-  std::vector<LoopRange> loops;
-  for (std::size_t i = begin; i < end; ++i) {
-    if (toks[i].kind != Tok::Kind::kIdent) continue;
-    if (toks[i].text == "do") {
-      if (tok_is(toks, i + 1, "{")) {
-        const std::size_t close = match_bracket(toks, i + 1);
-        if (close < end) loops.push_back({i, i + 2, close});
-      }
-      continue;
-    }
-    if (toks[i].text != "for" && toks[i].text != "while") continue;
-    if (!tok_is(toks, i + 1, "(")) continue;
-    const std::size_t head_close = match_bracket(toks, i + 1);
-    if (head_close >= end) continue;
-    std::size_t k = head_close + 1;
-    if (tok_is(toks, k, "{")) {
-      const std::size_t close = match_bracket(toks, k);
-      if (close < end) loops.push_back({i, k + 1, close});
-    } else if (tok_is(toks, k, ";")) {
-      // do-while trailer or empty loop: nothing to scan.
-    } else {
-      // Single-statement body: scan to the terminating ';' at depth 0.
-      std::size_t j = k;
-      int depth = 0;
-      while (j < end) {
-        if (bracket_is_open(toks[j].text)) ++depth;
-        if (bracket_is_close(toks[j].text)) --depth;
-        if (depth == 0 && toks[j].text == ";") break;
-        ++j;
-      }
-      if (j < end) loops.push_back({i, k, j});
-    }
-  }
-  return loops;
 }
 
 /// True when any of the `count` tokens before `i`, scanning back to the
@@ -677,6 +516,7 @@ Driver::Result Driver::run() {
   for (Finding& finding : result.findings) {
     if (allowed(finding.rule, finding.file)) {
       ++result.suppressed;
+      result.suppressed_findings.push_back(std::move(finding));
       continue;
     }
     kept.push_back(std::move(finding));
@@ -693,22 +533,29 @@ Driver::Result Driver::run() {
            "malformed reconfnet-hotcheck suppression (want "
            "'reconfnet-hotcheck: allow(RNHnnn) reason')"});
     }
-    if (sup.allow.empty()) continue;
-    std::vector<Finding> remaining;
-    for (Finding& finding : result.findings) {
-      if (finding.file == path) {
-        auto it = sup.allow.find(finding.line);
-        if (it != sup.allow.end() && it->second.count(finding.rule) != 0) {
-          ++result.suppressed;
-          continue;
+    std::set<std::pair<std::size_t, std::string>> used;
+    if (!sup.allow.empty()) {
+      std::vector<Finding> remaining;
+      for (Finding& finding : result.findings) {
+        if (finding.file == path) {
+          auto it = sup.allow.find(finding.line);
+          if (it != sup.allow.end() && it->second.count(finding.rule) != 0) {
+            ++result.suppressed;
+            used.insert({finding.line, finding.rule});
+            result.suppressed_findings.push_back(std::move(finding));
+            continue;
+          }
         }
+        remaining.push_back(std::move(finding));
       }
-      remaining.push_back(std::move(finding));
+      result.findings = std::move(remaining);
     }
-    result.findings = std::move(remaining);
+    const auto stale = textscan::stale_suppressions(path, sup, used);
+    result.stale.insert(result.stale.end(), stale.begin(), stale.end());
   }
 
   textscan::sort_and_dedupe(result.findings);
+  textscan::sort_and_dedupe(result.suppressed_findings);
   return result;
 }
 

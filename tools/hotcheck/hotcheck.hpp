@@ -114,6 +114,12 @@ class Driver {
 
   struct Result {
     std::vector<Finding> findings;  // sorted by (file, line, rule)
+    /// Findings dropped by an inline allow or an [allow] carve-out, kept for
+    /// SARIF suppression records.
+    std::vector<Finding> suppressed_findings;
+    /// Inline suppression comments whose rule no longer fires on the line
+    /// they cover (the --stale-suppressions report).
+    std::vector<textscan::StaleSuppression> stale;
     std::size_t files_checked = 0;
     std::size_t suppressed = 0;
     std::size_t hot_functions_checked = 0;

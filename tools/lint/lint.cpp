@@ -492,19 +492,28 @@ Driver::Result Driver::run() {
                      "malformed suppression; expected "
                      "`reconfnet-lint: allow(RNLxxx) reason`"});
     }
+    std::set<std::pair<std::size_t, std::string>> used;
     for (Finding& finding : raw) {
-      if (allowed(finding.rule, path)) continue;
+      if (allowed(finding.rule, path)) {
+        result.suppressed_findings.push_back(std::move(finding));
+        continue;
+      }
       const auto it = suppressions.allow.find(finding.line);
       if (finding.rule != "RNL204" && it != suppressions.allow.end() &&
           it->second.count(finding.rule) != 0) {
         ++result.suppressed;
+        used.insert({finding.line, finding.rule});
+        result.suppressed_findings.push_back(std::move(finding));
         continue;
       }
       result.findings.push_back(std::move(finding));
     }
+    const auto stale = textscan::stale_suppressions(path, suppressions, used);
+    result.stale.insert(result.stale.end(), stale.begin(), stale.end());
   }
 
   textscan::sort_and_dedupe(result.findings);
+  textscan::sort_and_dedupe(result.suppressed_findings);
   return result;
 }
 

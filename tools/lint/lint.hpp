@@ -30,7 +30,7 @@
 //     RNL203  NOLINT without a rule name and reason
 //     RNL204  malformed reconfnet-lint suppression comment
 //
-// Suppressions: `// reconfnet-lint: allow(RNL005) <reason>` on the offending
+// Suppressions: `// reconfnet-lint: allow(RNLnnn) <reason>` on the offending
 // line or alone on the line above. Path-level allowances live in the
 // [allow] section of the config (e.g. the RNG implementation itself).
 #pragma once
@@ -88,6 +88,12 @@ class Driver {
 
   struct Result {
     std::vector<Finding> findings;  // sorted by (file, line, rule)
+    /// Findings dropped by an inline allow or an [allow] carve-out, kept for
+    /// SARIF suppression records.
+    std::vector<Finding> suppressed_findings;
+    /// Inline suppression comments whose rule no longer fires on the line
+    /// they cover (the --stale-suppressions report).
+    std::vector<textscan::StaleSuppression> stale;
     std::size_t files_checked = 0;
     std::size_t suppressed = 0;
   };

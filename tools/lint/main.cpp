@@ -2,7 +2,7 @@
 //
 // Usage:
 //   reconfnet_lint [--root DIR] [--config FILE] [--compdb FILE]
-//                  [--sarif FILE] [file...]
+//                  [--sarif FILE] [--stale-suppressions] [file...]
 //
 //   --root DIR     repository root (default: current directory). All paths
 //                  are interpreted and reported relative to it.
@@ -12,6 +12,9 @@
 //                  the lint roots either way)
 //   --sarif FILE   also write the findings as SARIF 2.1.0 (for the CI
 //                  code-scanning upload); does not change the exit status
+//   --stale-suppressions
+//                  report only inline allow() comments whose rule no longer
+//                  fires on the line they cover; always exits 0
 //   file...        lint exactly these files instead of the whole tree
 //                  (fixture files under tests/*_fixtures/ are only
 //                  reachable this way)
@@ -83,6 +86,7 @@ int main(int argc, char** argv) {
   fs::path config_path;
   fs::path compdb_path;
   fs::path sarif_path;
+  bool stale_mode = false;
   std::vector<std::string> explicit_files;
 
   for (int i = 1; i < argc; ++i) {
@@ -102,10 +106,12 @@ int main(int argc, char** argv) {
       compdb_path = next("--compdb");
     } else if (arg == "--sarif") {
       sarif_path = next("--sarif");
+    } else if (arg == "--stale-suppressions") {
+      stale_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: reconfnet_lint [--root DIR] [--config FILE] "
-                   "[--compdb FILE] [--sarif FILE] [--version] "
-                   "[--list-rules] [file...]\n";
+                   "[--compdb FILE] [--sarif FILE] [--stale-suppressions] "
+                   "[--version] [--list-rules] [file...]\n";
       return 0;
     } else if (reconfnet::textscan::handle_standard_flag(
                    arg, "reconfnet_lint", reconfnet::lint::rules(),
@@ -204,6 +210,16 @@ int main(int argc, char** argv) {
   }
 
   const reconfnet::lint::Driver::Result result = driver.run();
+  if (stale_mode) {
+    for (const auto& stale : result.stale) {
+      std::cout << stale.file << ":" << stale.line << ": stale suppression "
+                << "allow(" << stale.rule << ") — the rule no longer fires "
+                << "on the line it covers\n";
+    }
+    std::cerr << "reconfnet_lint: " << result.stale.size()
+              << " stale suppressions\n";
+    return 0;
+  }
   for (const reconfnet::lint::Finding& finding : result.findings) {
     std::cout << finding.file << ":" << finding.line << ": " << finding.rule
               << " " << finding.message << "\n";
@@ -215,7 +231,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     reconfnet::textscan::write_sarif(sarif, "reconfnet_lint",
-                                     "tools/lint/lint.hpp", result.findings);
+                                     "tools/lint/lint.hpp", result.findings,
+                                     result.suppressed_findings);
   }
   std::cerr << "reconfnet_lint: " << result.files_checked << " files, "
             << result.findings.size() << " findings (" << result.suppressed

@@ -170,6 +170,149 @@ const std::set<std::string>& cpp_keywords() {
 }
 
 // ---------------------------------------------------------------------------
+// Light function / loop parsing
+
+const std::set<std::string>& non_definition_preceders() {
+  static const std::set<std::string> kNot = {
+      "if",     "while", "for",   "switch", "return", "new",
+      "delete", "throw", "else",  "do",     "case",   "sizeof",
+      "goto",   "co_return", "co_await", "co_yield"};
+  return kNot;
+}
+
+std::vector<FunctionBody> find_functions(const std::vector<Tok>& toks,
+                                         const std::string& name) {
+  std::vector<FunctionBody> out;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::Kind::kIdent || toks[i].text != name) continue;
+    if (!tok_is(toks, i + 1, "(")) continue;
+    const Tok& prev = toks[i - 1];
+    bool plausible = false;
+    if (prev.kind == Tok::Kind::kIdent) {
+      plausible = non_definition_preceders().count(prev.text) == 0;
+    } else {
+      plausible = prev.text == "::" || prev.text == ">" || prev.text == "*" ||
+                  prev.text == "&" || prev.text == "~";
+    }
+    if (!plausible) continue;
+
+    const std::size_t open = i + 1;
+    const std::size_t close = match_bracket(toks, open);
+    if (close >= toks.size()) continue;
+
+    // Walk from the parameter list to a `{` body through tokens only a
+    // definition can carry; anything else means call site or declaration.
+    std::size_t j = close + 1;
+    bool definition = false;
+    while (j < toks.size()) {
+      const std::string& t = toks[j].text;
+      if (t == "{") {
+        definition = true;
+        break;
+      }
+      if (t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+          t == "mutable" || t == "&" || t == "&&") {
+        ++j;
+        continue;
+      }
+      if (t == "(") {  // noexcept(...) operand
+        j = match_bracket(toks, j);
+        if (j >= toks.size()) break;
+        ++j;
+        continue;
+      }
+      if (t == "->") {  // trailing return type
+        ++j;
+        while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") {
+          if (toks[j].text == "<") {
+            j = skip_angles(toks, j);
+            continue;
+          }
+          ++j;
+        }
+        continue;
+      }
+      if (t == ":") {  // constructor initializer list
+        ++j;
+        while (j < toks.size()) {
+          const std::string& u = toks[j].text;
+          if (u == "(" || u == "[") {
+            j = match_bracket(toks, j);
+            if (j >= toks.size()) break;
+            ++j;
+            continue;
+          }
+          if (u == "<") {
+            j = skip_angles(toks, j);
+            continue;
+          }
+          if (u == "{") {
+            // `member{...}` init follows an identifier or `>`; the body
+            // brace follows `)`/`}`/`,` instead.
+            if (toks[j - 1].kind == Tok::Kind::kIdent ||
+                toks[j - 1].text == ">") {
+              j = match_bracket(toks, j);
+              if (j >= toks.size()) break;
+              ++j;
+              continue;
+            }
+            break;
+          }
+          if (u == ";" || u == "}") break;
+          ++j;
+        }
+        continue;
+      }
+      break;
+    }
+    if (!definition || j >= toks.size()) continue;
+    const std::size_t body_close = match_bracket(toks, j);
+    if (body_close >= toks.size()) continue;
+    out.push_back({name, toks[i].line, open + 1, close, j + 1, body_close});
+    i = close;  // resume after the parameter list
+  }
+  return out;
+}
+
+std::vector<LoopRange> collect_loops(const std::vector<Tok>& toks,
+                                     std::size_t begin, std::size_t end) {
+  std::vector<LoopRange> loops;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != Tok::Kind::kIdent) continue;
+    if (toks[i].text == "do") {
+      if (tok_is(toks, i + 1, "{")) {
+        const std::size_t close = match_bracket(toks, i + 1);
+        if (close < end) loops.push_back({i, i + 2, close});
+      }
+      continue;
+    }
+    if (toks[i].text != "for" && toks[i].text != "while") continue;
+    if (!tok_is(toks, i + 1, "(")) continue;
+    const std::size_t head_close = match_bracket(toks, i + 1);
+    if (head_close >= end) continue;
+    std::size_t k = head_close + 1;
+    if (tok_is(toks, k, "{")) {
+      const std::size_t close = match_bracket(toks, k);
+      if (close < end) loops.push_back({i, k + 1, close});
+    } else if (tok_is(toks, k, ";")) {
+      // do-while trailer or empty loop: nothing to scan.
+    } else {
+      // Single-statement body: scan to the terminating ';' at depth 0.
+      std::size_t j = k;
+      int depth = 0;
+      while (j < end) {
+        if (bracket_is_open(toks[j].text)) ++depth;
+        if (bracket_is_close(toks[j].text)) --depth;
+        if (depth == 0 && toks[j].text == ";") break;
+        ++j;
+      }
+      if (j < end) loops.push_back({i, k, j});
+    }
+  }
+  return loops;
+}
+
+// ---------------------------------------------------------------------------
 // Source stripping
 
 bool SourceFile::is_header() const {
@@ -366,13 +509,39 @@ LineSuppressions collect_suppressions(const SourceFile& file,
       continue;
     }
     out.allow[line].insert(rules.begin(), rules.end());
+    SuppressionComment record;
+    record.line = line;
+    record.covers.push_back(line);
+    record.rules = rules;
     // A comment-only line suppresses the next line that has code on it.
     if (trim(file.code[li]).empty()) {
       std::size_t target = li + 1;
       while (target < file.code.size() && trim(file.code[target]).empty())
         ++target;
-      if (target < file.code.size())
+      if (target < file.code.size()) {
         out.allow[target + 1].insert(rules.begin(), rules.end());
+        record.covers.push_back(target + 1);
+      }
+    }
+    out.comments.push_back(std::move(record));
+  }
+  return out;
+}
+
+std::vector<StaleSuppression> stale_suppressions(
+    const std::string& path, const LineSuppressions& sup,
+    const std::set<std::pair<std::size_t, std::string>>& used) {
+  std::vector<StaleSuppression> out;
+  for (const SuppressionComment& comment : sup.comments) {
+    for (const std::string& rule : comment.rules) {
+      bool hit = false;
+      for (const std::size_t line : comment.covers) {
+        if (used.count({line, rule}) != 0) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) out.push_back({path, comment.line, rule});
     }
   }
   return out;
@@ -528,12 +697,44 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+namespace {
+
+/// Emits one SARIF result object. `suppressed` results carry an inSource
+/// suppression record so code scanning shows them as dismissed.
+void write_sarif_result(std::ostream& out, const Finding& finding,
+                        bool suppressed, bool first) {
+  out << (first ? "\n" : ",\n")
+      << "        {\n"
+      << "          \"ruleId\": \"" << json_escape(finding.rule) << "\",\n"
+      << "          \"level\": \"error\",\n"
+      << "          \"message\": {\"text\": \"" << json_escape(finding.message)
+      << "\"},\n";
+  if (suppressed) {
+    out << "          \"suppressions\": [{\"kind\": \"inSource\"}],\n";
+  }
+  out << "          \"locations\": [\n"
+      << "            {\n"
+      << "              \"physicalLocation\": {\n"
+      << "                \"artifactLocation\": {\"uri\": \""
+      << json_escape(finding.file) << "\"},\n"
+      << "                \"region\": {\"startLine\": "
+      << (finding.line == 0 ? 1 : finding.line) << "}\n"
+      << "              }\n"
+      << "            }\n"
+      << "          ]\n"
+      << "        }";
+}
+
+}  // namespace
+
 void write_sarif(std::ostream& out, const std::string& tool_name,
                  const std::string& info_uri,
-                 const std::vector<Finding>& findings) {
+                 const std::vector<Finding>& findings,
+                 const std::vector<Finding>& suppressed) {
   // Distinct rule ids, sorted, each becomes a reportingDescriptor.
   std::set<std::string> rules;
   for (const Finding& finding : findings) rules.insert(finding.rule);
+  for (const Finding& finding : suppressed) rules.insert(finding.rule);
 
   out << "{\n"
       << "  \"$schema\": "
@@ -559,26 +760,14 @@ void write_sarif(std::ostream& out, const std::string& tool_name,
       << "      \"results\": [";
   first = true;
   for (const Finding& finding : findings) {
-    out << (first ? "\n" : ",\n")
-        << "        {\n"
-        << "          \"ruleId\": \"" << json_escape(finding.rule) << "\",\n"
-        << "          \"level\": \"error\",\n"
-        << "          \"message\": {\"text\": \""
-        << json_escape(finding.message) << "\"},\n"
-        << "          \"locations\": [\n"
-        << "            {\n"
-        << "              \"physicalLocation\": {\n"
-        << "                \"artifactLocation\": {\"uri\": \""
-        << json_escape(finding.file) << "\"},\n"
-        << "                \"region\": {\"startLine\": "
-        << (finding.line == 0 ? 1 : finding.line) << "}\n"
-        << "              }\n"
-        << "            }\n"
-        << "          ]\n"
-        << "        }";
+    write_sarif_result(out, finding, /*suppressed=*/false, first);
     first = false;
   }
-  out << (findings.empty() ? "]\n" : "\n      ]\n")
+  for (const Finding& finding : suppressed) {
+    write_sarif_result(out, finding, /*suppressed=*/true, first);
+    first = false;
+  }
+  out << (first ? "]\n" : "\n      ]\n")
       << "    }\n"
       << "  ]\n"
       << "}\n";

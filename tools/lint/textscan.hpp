@@ -1,5 +1,7 @@
 // Shared source-scanning machinery for the reconfnet static checkers
-// (reconfnet_lint in tools/lint/, reconfnet_protocheck in tools/protocheck/).
+// (reconfnet_lint in tools/lint/, reconfnet_protocheck in tools/protocheck/,
+// reconfnet_hotcheck in tools/hotcheck/, reconfnet_racecheck in
+// tools/racecheck/).
 //
 // Both tools are deliberately zero-dependency: they tokenise and light-parse
 // the sources themselves (no libclang), so they build and run on the
@@ -106,13 +108,64 @@ std::size_t match_bracket(const std::vector<Tok>& t, std::size_t i);
 const std::set<std::string>& cpp_keywords();
 
 // ---------------------------------------------------------------------------
+// Light function / loop parsing over the token stream
+//
+// Shared by the checkers that reason about function bodies (hotcheck's hot
+// regions, racecheck's parallel regions). All of this is heuristic
+// light-parsing — good enough for the repo's house style, not a C++ grammar.
+
+/// Keywords that can precede `name (` without `name` being a function
+/// definition.
+const std::set<std::string>& non_definition_preceders();
+
+/// One function definition found in a token stream. Ranges are token
+/// indices; `params` covers the tokens strictly inside the parameter list
+/// parens, `body` the tokens strictly inside the outermost braces.
+struct FunctionBody {
+  std::string name;
+  std::size_t line = 0;
+  std::size_t params_begin = 0;
+  std::size_t params_end = 0;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+/// Finds definitions of `name` in `toks`. Tolerates qualified names,
+/// trailing const/noexcept/ref-qualifiers, trailing return types and
+/// constructor initializer lists; rejects plain calls and declarations by
+/// requiring a `{` body reached through definition-shaped tokens only.
+std::vector<FunctionBody> find_functions(const std::vector<Tok>& toks,
+                                         const std::string& name);
+
+/// Token range of one loop body (for/while/do) inside a function body.
+struct LoopRange {
+  std::size_t head = 0;  // token index of the loop keyword
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+std::vector<LoopRange> collect_loops(const std::vector<Tok>& toks,
+                                     std::size_t begin, std::size_t end);
+
+// ---------------------------------------------------------------------------
 // Suppressions
+
+/// One well-formed suppression comment, kept per-comment (in addition to the
+/// merged line->rules map) so stale-suppression reporting can point at the
+/// exact comment whose rule no longer fires.
+struct SuppressionComment {
+  std::size_t line = 0;             ///< line carrying the comment
+  std::vector<std::size_t> covers;  ///< lines whose findings it suppresses
+  std::set<std::string> rules;
+};
 
 struct LineSuppressions {
   /// line -> rule ids allowed on that line.
   std::map<std::size_t, std::set<std::string>> allow;
   /// lines carrying a malformed suppression comment.
   std::vector<std::size_t> malformed;
+  /// every well-formed suppression comment, in file order.
+  std::vector<SuppressionComment> comments;
 };
 
 /// Collects `<marker> allow(<prefix>nnn[, ...]) reason` suppressions from a
@@ -123,6 +176,21 @@ struct LineSuppressions {
 LineSuppressions collect_suppressions(const SourceFile& file,
                                       const std::string& marker,
                                       const std::string& rule_prefix);
+
+/// One suppression comment whose rule no longer fires on the line it covers
+/// (the `--stale-suppressions` report unit).
+struct StaleSuppression {
+  std::string file;
+  std::size_t line = 0;  ///< line carrying the now-stale comment
+  std::string rule;      ///< the rule id that no longer fires
+};
+
+/// Computes the stale subset of a file's suppression comments. `used` holds
+/// the (line, rule) pairs that actually suppressed a finding during the run;
+/// a comment rule is stale when none of the lines it covers used it.
+std::vector<StaleSuppression> stale_suppressions(
+    const std::string& path, const LineSuppressions& sup,
+    const std::set<std::pair<std::size_t, std::string>>& used);
 
 // ---------------------------------------------------------------------------
 // TOML subset
@@ -162,9 +230,9 @@ bool parse_string_array(const std::string& value,
 // Standard informational CLI flags
 
 /// Version stamp shared by the reconfnet checkers (reconfnet_lint,
-/// reconfnet_protocheck, reconfnet_hotcheck); bumped when a rule set or the
-/// shared scanning layer changes shape.
-inline constexpr const char* kToolsVersion = "1.1.0";
+/// reconfnet_protocheck, reconfnet_hotcheck, reconfnet_racecheck); bumped
+/// when a rule set or the shared scanning layer changes shape.
+inline constexpr const char* kToolsVersion = "1.2.0";
 
 /// One rule id plus its one-line summary — the unit of --list-rules output
 /// and of each tool's static rule catalogue.
@@ -186,9 +254,12 @@ bool handle_standard_flag(const std::string& arg, const std::string& tool_name,
 /// Writes the findings as a single-run SARIF 2.1.0 log (the format GitHub
 /// code scanning ingests), with one reportingDescriptor per distinct rule id.
 /// Paths are emitted as given (repo-relative), which is what the upload
-/// action expects when run from the repository root.
+/// action expects when run from the repository root. `suppressed` findings
+/// are emitted as results carrying an inSource suppression record, which
+/// code-scanning displays as dismissed rather than open.
 void write_sarif(std::ostream& out, const std::string& tool_name,
                  const std::string& info_uri,
-                 const std::vector<Finding>& findings);
+                 const std::vector<Finding>& findings,
+                 const std::vector<Finding>& suppressed = {});
 
 }  // namespace reconfnet::textscan

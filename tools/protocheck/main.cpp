@@ -1,13 +1,17 @@
 // reconfnet_protocheck CLI. See protocheck.hpp for the rule catalogue.
 //
 // Usage:
-//   reconfnet_protocheck [--root DIR] [--spec FILE] [--sarif FILE] [file...]
+//   reconfnet_protocheck [--root DIR] [--spec FILE] [--sarif FILE]
+//                        [--stale-suppressions] [file...]
 //
 //   --root DIR    repository root (default: current directory). All paths
 //                 are interpreted and reported relative to it.
 //   --spec FILE   protocol spec (default: ROOT/tools/protocheck/protocol.toml)
 //   --sarif FILE  also write the findings as SARIF 2.1.0 (for the CI
 //                 code-scanning upload); does not change the exit status
+//   --stale-suppressions
+//                 report only inline allow() comments whose rule no longer
+//                 fires on the line they cover; always exits 0
 //   file...       check exactly these files instead of walking the spec's
 //                 roots; partial runs skip the whole-tree orphan rules
 //                 (fixture files under tests/protocheck_fixtures/ are only
@@ -56,6 +60,7 @@ int main(int argc, char** argv) {
   fs::path root = ".";
   fs::path spec_path;
   fs::path sarif_path;
+  bool stale_mode = false;
   std::vector<std::string> explicit_files;
 
   for (int i = 1; i < argc; ++i) {
@@ -73,9 +78,12 @@ int main(int argc, char** argv) {
       spec_path = next("--spec");
     } else if (arg == "--sarif") {
       sarif_path = next("--sarif");
+    } else if (arg == "--stale-suppressions") {
+      stale_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: reconfnet_protocheck [--root DIR] [--spec FILE] "
-                   "[--sarif FILE] [--version] [--list-rules] [file...]\n";
+                   "[--sarif FILE] [--stale-suppressions] [--version] "
+                   "[--list-rules] [file...]\n";
       return 0;
     } else if (reconfnet::textscan::handle_standard_flag(
                    arg, "reconfnet_protocheck", reconfnet::protocheck::rules(),
@@ -146,6 +154,16 @@ int main(int argc, char** argv) {
   }
 
   const auto result = driver.run();
+  if (stale_mode) {
+    for (const auto& stale : result.stale) {
+      std::cout << stale.file << ":" << stale.line << ": stale suppression "
+                << "allow(" << stale.rule << ") — the rule no longer fires "
+                << "on the line it covers\n";
+    }
+    std::cerr << "reconfnet_protocheck: " << result.stale.size()
+              << " stale suppressions\n";
+    return 0;
+  }
   for (const reconfnet::protocheck::Finding& finding : result.findings) {
     std::cout << finding.file << ":" << finding.line << ": " << finding.rule
               << " " << finding.message << "\n";
@@ -159,7 +177,8 @@ int main(int argc, char** argv) {
     }
     reconfnet::textscan::write_sarif(sarif, "reconfnet_protocheck",
                                      "tools/protocheck/protocheck.hpp",
-                                     result.findings);
+                                     result.findings,
+                                     result.suppressed_findings);
   }
   std::cerr << "reconfnet_protocheck: " << result.files_checked << " files, "
             << result.findings.size() << " findings (" << result.suppressed

@@ -747,21 +747,32 @@ Driver::Result Driver::run() {
     }
     suppressions.emplace(path, std::move(collected));
   }
+  std::map<std::string, std::set<std::pair<std::size_t, std::string>>> used;
   for (Finding& finding : raw) {
-    if (allowed(finding.rule, finding.file)) continue;
+    if (allowed(finding.rule, finding.file)) {
+      result.suppressed_findings.push_back(std::move(finding));
+      continue;
+    }
     const auto file_it = suppressions.find(finding.file);
     if (finding.rule != "RNP390" && file_it != suppressions.end()) {
       const auto line_it = file_it->second.allow.find(finding.line);
       if (line_it != file_it->second.allow.end() &&
           line_it->second.count(finding.rule) != 0) {
         ++result.suppressed;
+        used[finding.file].insert({finding.line, finding.rule});
+        result.suppressed_findings.push_back(std::move(finding));
         continue;
       }
     }
     result.findings.push_back(std::move(finding));
   }
+  for (const auto& [path, sup] : suppressions) {
+    const auto stale = textscan::stale_suppressions(path, sup, used[path]);
+    result.stale.insert(result.stale.end(), stale.begin(), stale.end());
+  }
 
   textscan::sort_and_dedupe(result.findings);
+  textscan::sort_and_dedupe(result.suppressed_findings);
   return result;
 }
 

@@ -1,20 +1,22 @@
-// reconfnet_hotcheck CLI. See hotcheck.hpp for the rule catalogue.
+// reconfnet_racecheck CLI. See racecheck.hpp for the rule catalogue.
 //
 // Usage:
-//   reconfnet_hotcheck [--root DIR] [--spec FILE] [--sarif FILE]
-//                      [--stale-suppressions] [file...]
+//   reconfnet_racecheck [--root DIR] [--spec FILE] [--sarif FILE]
+//                       [--stale-suppressions] [file...]
 //
 //   --root DIR    repository root (default: current directory). All paths
 //                 are interpreted and reported relative to it.
-//   --spec FILE   hot-path spec (default: ROOT/tools/hotcheck/hotpaths.toml)
+//   --spec FILE   concurrency spec (default:
+//                 ROOT/tools/racecheck/concurrency.toml)
 //   --sarif FILE  also write the findings as SARIF 2.1.0 (for the CI
 //                 code-scanning upload); does not change the exit status
 //   --stale-suppressions
 //                 report only inline allow() comments whose rule no longer
-//                 fires on the line they cover; always exits 0
+//                 fires on the line they cover; always exits 0 (a
+//                 housekeeping report, not a gate)
 //   file...       check exactly these files instead of walking the spec's
-//                 roots; partial runs skip the missing-file drift checks
-//                 (fixture files under tests/hotcheck_fixtures/ are only
+//                 roots; partial runs skip the dead-region drift checks
+//                 (fixture files under tests/racecheck_fixtures/ are only
 //                 reachable this way)
 //
 // Exit status: 0 clean, 1 findings, 2 usage/configuration error.
@@ -26,7 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "hotcheck.hpp"
+#include "racecheck.hpp"
 
 namespace fs = std::filesystem;
 
@@ -67,7 +69,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::cerr << "reconfnet_hotcheck: " << flag << " needs a value\n";
+        std::cerr << "reconfnet_racecheck: " << flag << " needs a value\n";
         std::exit(2);
       }
       return argv[++i];
@@ -81,32 +83,32 @@ int main(int argc, char** argv) {
     } else if (arg == "--stale-suppressions") {
       stale_mode = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: reconfnet_hotcheck [--root DIR] [--spec FILE] "
+      std::cout << "usage: reconfnet_racecheck [--root DIR] [--spec FILE] "
                    "[--sarif FILE] [--stale-suppressions] [--version] "
                    "[--list-rules] [file...]\n";
       return 0;
     } else if (reconfnet::textscan::handle_standard_flag(
-                   arg, "reconfnet_hotcheck", reconfnet::hotcheck::rules(),
+                   arg, "reconfnet_racecheck", reconfnet::racecheck::rules(),
                    std::cout)) {
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "reconfnet_hotcheck: unknown option " << arg << "\n";
+      std::cerr << "reconfnet_racecheck: unknown option " << arg << "\n";
       return 2;
     } else {
       explicit_files.push_back(arg);
     }
   }
-  if (spec_path.empty()) spec_path = root / "tools/hotcheck/hotpaths.toml";
+  if (spec_path.empty()) spec_path = root / "tools/racecheck/concurrency.toml";
 
   std::string spec_text;
   if (!read_file(spec_path, spec_text)) {
-    std::cerr << "reconfnet_hotcheck: cannot read spec " << spec_path << "\n";
+    std::cerr << "reconfnet_racecheck: cannot read spec " << spec_path << "\n";
     return 2;
   }
-  reconfnet::hotcheck::Spec spec;
+  reconfnet::racecheck::Spec spec;
   std::string error;
-  if (!reconfnet::hotcheck::parse_spec(spec_text, spec, error)) {
-    std::cerr << "reconfnet_hotcheck: bad spec: " << error << "\n";
+  if (!reconfnet::racecheck::parse_spec(spec_text, spec, error)) {
+    std::cerr << "reconfnet_racecheck: bad spec: " << error << "\n";
     return 2;
   }
 
@@ -129,24 +131,24 @@ int main(int argc, char** argv) {
       const fs::path p = fs::path(file).is_absolute() ? fs::path(file)
                                                       : root / file;
       if (!fs::exists(p)) {
-        std::cerr << "reconfnet_hotcheck: no such file: " << file << "\n";
+        std::cerr << "reconfnet_racecheck: no such file: " << file << "\n";
         return 2;
       }
       paths.insert(repo_relative(p, root));
     }
   }
   if (paths.empty()) {
-    std::cerr << "reconfnet_hotcheck: no input files\n";
+    std::cerr << "reconfnet_racecheck: no input files\n";
     return 2;
   }
 
-  reconfnet::hotcheck::Driver driver(std::move(spec),
-                                     repo_relative(spec_path, root));
+  reconfnet::racecheck::Driver driver(std::move(spec),
+                                      repo_relative(spec_path, root));
   driver.set_partial(!explicit_files.empty());
   for (const std::string& rel : paths) {
     std::string content;
     if (!read_file(root / rel, content)) {
-      std::cerr << "reconfnet_hotcheck: cannot read " << rel << "\n";
+      std::cerr << "reconfnet_racecheck: cannot read " << rel << "\n";
       return 2;
     }
     driver.add_file(rel, content);
@@ -159,27 +161,28 @@ int main(int argc, char** argv) {
                 << "allow(" << stale.rule << ") — the rule no longer fires "
                 << "on the line it covers\n";
     }
-    std::cerr << "reconfnet_hotcheck: " << result.stale.size()
+    std::cerr << "reconfnet_racecheck: " << result.stale.size()
               << " stale suppressions\n";
     return 0;
   }
-  for (const reconfnet::hotcheck::Finding& finding : result.findings) {
+  for (const reconfnet::racecheck::Finding& finding : result.findings) {
     std::cout << finding.file << ":" << finding.line << ": " << finding.rule
               << " " << finding.message << "\n";
   }
   if (!sarif_path.empty()) {
     std::ofstream sarif(sarif_path, std::ios::binary);
     if (!sarif) {
-      std::cerr << "reconfnet_hotcheck: cannot write " << sarif_path << "\n";
+      std::cerr << "reconfnet_racecheck: cannot write " << sarif_path << "\n";
       return 2;
     }
-    reconfnet::textscan::write_sarif(sarif, "reconfnet_hotcheck",
-                                     "tools/hotcheck/hotcheck.hpp",
+    reconfnet::textscan::write_sarif(sarif, "reconfnet_racecheck",
+                                     "tools/racecheck/racecheck.hpp",
                                      result.findings,
                                      result.suppressed_findings);
   }
-  std::cerr << "reconfnet_hotcheck: " << result.files_checked << " files, "
-            << result.hot_functions_checked << " hot functions, "
+  std::cerr << "reconfnet_racecheck: " << result.files_checked << " files, "
+            << result.sites_checked << " dispatch sites, "
+            << result.lambdas_checked << " parallel lambdas, "
             << result.findings.size() << " findings (" << result.suppressed
             << " suppressed)\n";
   return result.findings.empty() ? 0 : 1;

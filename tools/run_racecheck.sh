@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Run reconfnet_racecheck (tools/racecheck/) — the concurrency-safety &
+# determinism-under-parallelism gate — and fail non-zero on any unsuppressed
+# finding. The checker reads the parallel-region inventory from
+# tools/racecheck/concurrency.toml and flags shared-state mutation from
+# parallel bodies, unsplit RNG use, wrong-index container writes,
+# completion-order merging, ad-hoc synchronization outside src/runtime/,
+# global-state reach-through, and spec drift (DESIGN.md §13). The dynamic
+# half — the ownership tracker and the schedule-perturbation replay harness —
+# lives in src/runtime/racecheck.* and tests/racecheck_replay_test.cpp. Like
+# run_lint.sh it is zero-dependency: with no build tree it is
+# bootstrap-compiled on the spot via tools/bootstrap_tool.sh.
+#
+# Usage:
+#   tools/run_racecheck.sh [build-dir] [file...]
+#
+#   build-dir  build tree to take the reconfnet_racecheck binary from
+#              (default: first existing of build/default, build, build/tidy;
+#              bootstrap-compiled when none is configured)
+#   file...    restrict the run to these sources (partial mode: whole-spec
+#              rules such as the dead-region drift check are skipped)
+#
+# Environment:
+#   RACECHECK_LOG    also write the findings to this file (CI uploads it as
+#                    an artifact); written even when the run is clean.
+#   RACECHECK_SARIF  also write a SARIF 2.1.0 log to this file (for the CI
+#                    code-scanning upload).
+#   CXX              compiler for the bootstrap build (default: c++)
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+build_dir="${1:-}"
+if [[ $# -gt 0 ]]; then
+  shift
+fi
+if [[ -z "${build_dir}" ]]; then
+  for candidate in build/default build build/tidy; do
+    if [[ -f "${candidate}/CMakeCache.txt" ]]; then
+      build_dir="${candidate}"
+      break
+    fi
+  done
+fi
+
+check_bin="$(tools/bootstrap_tool.sh reconfnet_racecheck tools/racecheck \
+  "${build_dir}" \
+  tools/lint/textscan.hpp tools/lint/textscan.cpp \
+  tools/racecheck/racecheck.hpp tools/racecheck/racecheck.cpp \
+  tools/racecheck/main.cpp)"
+
+echo "reconfnet_racecheck $("${check_bin}" --version | awk '{print $2}'): \
+$("${check_bin}" --list-rules | wc -l) rules active" >&2
+
+declare -a args=(--root . --spec tools/racecheck/concurrency.toml)
+if [[ -n "${RACECHECK_SARIF:-}" ]]; then
+  args+=(--sarif "${RACECHECK_SARIF}")
+fi
+if [[ $# -gt 0 ]]; then
+  args+=("$@")
+fi
+
+status=0
+if [[ -n "${RACECHECK_LOG:-}" ]]; then
+  "${check_bin}" "${args[@]}" 2>&1 | tee "${RACECHECK_LOG}" || status=$?
+else
+  "${check_bin}" "${args[@]}" || status=$?
+fi
+exit "${status}"
