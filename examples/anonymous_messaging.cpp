@@ -13,6 +13,7 @@
 #include "adversary/dos.hpp"
 #include "apps/anonym/anonymizer.hpp"
 #include "dos/overlay.hpp"
+#include "sim/stale_view.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
@@ -53,7 +54,8 @@ int main() {
     // during the batch; we draw its per-round blocked sets the same way.
     std::vector<sim::BlockedSet> blocked;
     for (sim::Round r = 0; r < apps::kAnonymizerPipelineRounds; ++r) {
-      blocked.push_back(attacker.choose(nullptr, overlay.groups().all_nodes(),
+      blocked.push_back(attacker.choose(sim::StaleSnapshotView{},
+                                        overlay.groups().all_nodes(),
                                         static_cast<std::size_t>(
                                             0.35 * 512),
                                         overlay.round() + r));

@@ -1,29 +1,33 @@
 // DoS adversaries (Section 1.1). An r-bounded t-late adversary may block any
 // r-fraction of the current nodes each round but only sees the overlay
 // topology as it was at least t rounds ago. Lateness is enforced by the
-// harness: strategies receive a stale TopologySnapshot, never live state.
+// harness and machine-checked from both sides: strategies receive an
+// access-audited sim::StaleSnapshotView (never live state), and
+// reconfnet_oraclecheck statically verifies that adversary code touches only
+// the permitted read surface declared in tools/oraclecheck/oracle.toml.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "sim/blocked.hpp"
-#include "sim/snapshot.hpp"
+#include "sim/stale_view.hpp"
 #include "sim/types.hpp"
 #include "support/rng.hpp"
 
 namespace reconfnet::adversary {
 
-/// Strategy interface. `stale` is the freshest snapshot that is at least the
-/// configured lateness old (nullptr if none exists yet); `universe` is the
-/// publicly known id space (an adversary without topology information can
-/// still block ids blindly); `budget` is the maximum number of nodes the
-/// adversary may block this round.
+/// Strategy interface. `stale` is the harness-served view of the freshest
+/// snapshot that is at least the configured lateness old (empty if none
+/// exists yet); `universe` is the publicly known id space (an adversary
+/// without topology information can still block ids blindly); `budget` is the
+/// maximum number of nodes the adversary may block this round.
 class DosAdversary {
  public:
   virtual ~DosAdversary() = default;
-  virtual sim::BlockedSet choose(const sim::TopologySnapshot* stale,
+  virtual sim::BlockedSet choose(const sim::StaleSnapshotView& stale,
                                  std::span<const sim::NodeId> universe,
                                  std::size_t budget, sim::Round now) = 0;
 };
@@ -31,7 +35,7 @@ class DosAdversary {
 /// Blocks nothing.
 class NoDos final : public DosAdversary {
  public:
-  sim::BlockedSet choose(const sim::TopologySnapshot*,
+  sim::BlockedSet choose(const sim::StaleSnapshotView&,
                          std::span<const sim::NodeId>, std::size_t,
                          sim::Round) override {
     return {};
@@ -42,9 +46,9 @@ class NoDos final : public DosAdversary {
 class RandomDos final : public DosAdversary {
  public:
   explicit RandomDos(support::Rng rng) : rng_(rng) {}
-  sim::BlockedSet choose(const sim::TopologySnapshot* stale,
-                                std::span<const sim::NodeId> universe,
-                                std::size_t budget, sim::Round now) override;
+  sim::BlockedSet choose(const sim::StaleSnapshotView& stale,
+                         std::span<const sim::NodeId> universe,
+                         std::size_t budget, sim::Round now) override;
 
  private:
   support::Rng rng_;
@@ -58,9 +62,9 @@ class RandomDos final : public DosAdversary {
 class IsolationDos final : public DosAdversary {
  public:
   explicit IsolationDos(support::Rng rng) : rng_(rng) {}
-  sim::BlockedSet choose(const sim::TopologySnapshot* stale,
-                                std::span<const sim::NodeId> universe,
-                                std::size_t budget, sim::Round now) override;
+  sim::BlockedSet choose(const sim::StaleSnapshotView& stale,
+                         std::span<const sim::NodeId> universe,
+                         std::size_t budget, sim::Round now) override;
 
  private:
   support::Rng rng_;
@@ -73,9 +77,9 @@ class IsolationDos final : public DosAdversary {
 class GroupWipeDos final : public DosAdversary {
  public:
   explicit GroupWipeDos(support::Rng rng) : rng_(rng) {}
-  sim::BlockedSet choose(const sim::TopologySnapshot* stale,
-                                std::span<const sim::NodeId> universe,
-                                std::size_t budget, sim::Round now) override;
+  sim::BlockedSet choose(const sim::StaleSnapshotView& stale,
+                         std::span<const sim::NodeId> universe,
+                         std::size_t budget, sim::Round now) override;
 
  private:
   support::Rng rng_;
@@ -86,15 +90,52 @@ class GroupWipeDos final : public DosAdversary {
 class StickyRandomDos final : public DosAdversary {
  public:
   StickyRandomDos(support::Rng rng, int hold) : rng_(rng), hold_(hold) {}
-  sim::BlockedSet choose(const sim::TopologySnapshot* stale,
-                                std::span<const sim::NodeId> universe,
-                                std::size_t budget, sim::Round now) override;
+  sim::BlockedSet choose(const sim::StaleSnapshotView& stale,
+                         std::span<const sim::NodeId> universe,
+                         std::size_t budget, sim::Round now) override;
 
  private:
   support::Rng rng_;
   int hold_;
   int age_ = 0;
   sim::BlockedSet current_;
+};
+
+/// Adaptive group-learning attack (ROADMAP item 5). The adversary partitions
+/// each new stale snapshot into apparent groups (near-cliques), wipes whole
+/// groups, and then *learns from its own blocked-set feedback*: when the next
+/// stale snapshot arrives it checks whether the groups it attacked last time
+/// still exist, and keeps an exponential moving average `persistence` of how
+/// often they do. Against a static overlay persistence converges to 1 and the
+/// full budget goes into group wipes; against the reconfiguring overlay with
+/// lateness >= one epoch the attacked groups have dissolved by the time the
+/// adversary can observe the outcome, persistence decays toward 0, and the
+/// strategy degrades to random blocking — exactly the paper's Section 5
+/// claim, measured from the adversary's side. Everything it consumes (stale
+/// view, public universe, its own past choices) is inside the permitted read
+/// surface of oracle.toml; the point of this strategy is to demonstrate that
+/// a *learning* adversary needs no contraband information channel.
+class AdaptiveDos final : public DosAdversary {
+ public:
+  explicit AdaptiveDos(support::Rng rng) : rng_(rng) {}
+  sim::BlockedSet choose(const sim::StaleSnapshotView& stale,
+                         std::span<const sim::NodeId> universe,
+                         std::size_t budget, sim::Round now) override;
+
+  /// Current estimate in [0, 1] of how often an attacked group survives until
+  /// the adversary can next observe it. Exposed for tests and benches.
+  [[nodiscard]] double persistence() const { return persistence_; }
+
+ private:
+  support::Rng rng_;
+  // Optimistic prior: assume the overlay is static until feedback says
+  // otherwise (the strongest opening move against a non-reconfiguring
+  // target).
+  double persistence_ = 1.0;
+  sim::Round last_snapshot_round_ = -1;  // no snapshot observed yet
+  // Groups this adversary chose to wipe at the previous snapshot — its own
+  // output, remembered as feedback. Each group is sorted.
+  std::vector<std::vector<sim::NodeId>> attacked_groups_;
 };
 
 }  // namespace reconfnet::adversary

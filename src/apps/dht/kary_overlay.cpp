@@ -7,6 +7,7 @@
 #include "graph/connectivity.hpp"
 #include "graph/hypercube.hpp"
 #include "sampling/hypercube_sampler.hpp"
+#include "sim/stale_view.hpp"
 
 namespace reconfnet::apps {
 namespace {
@@ -155,7 +156,9 @@ void KaryGroupedOverlay::advance_round(const Attack& attack,
   if (attack.adversary != nullptr) {
     const auto budget = static_cast<std::size_t>(
         attack.blocked_fraction * static_cast<double>(config_.size));
-    const auto* stale = snapshots_.stale_view(round_ - attack.lateness);
+    snapshots_.ensure_lateness_horizon(attack.lateness);
+    const sim::StaleSnapshotView stale =
+        sim::serve_stale(snapshots_, round_, attack.lateness);
     const auto universe = all_nodes();
     blocked = attack.adversary->choose(stale, universe, budget, round_);
   }

@@ -88,6 +88,23 @@ inline std::atomic<bool>& enabled_flag() {
   return flag;
 }
 
+// reconfnet-racecheck: allow(RNR505) on/off flag read by workers; never data
+inline std::atomic<bool>& oracle_enabled_flag() {
+  // reconfnet-racecheck: allow(RNR505) written once before workers exist
+  static std::atomic<bool> flag = [] {
+    bool on = false;
+    // Same single-threaded static-init discipline as enabled_flag() above.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded static init
+    if (const char* env = std::getenv("RECONFNET_ORACLEAUDIT")) {
+      const std::string_view value(env);
+      on = !(value == "0" || value == "off" || value == "false" ||
+             value.empty());
+    }
+    return on;
+  }();
+  return flag;
+}
+
 // reconfnet-racecheck: allow(RNR505) relaxed diagnostic tally, not a result
 inline std::atomic<std::uint64_t>& checks_counter() {
   // reconfnet-racecheck: allow(RNR505) monotonic; order never observed
@@ -114,6 +131,18 @@ inline void set_enabled(bool on) noexcept {
   detail::enabled_flag().store(on, std::memory_order_relaxed);
 }
 
+/// Whether the adversary information-flow audit should run. Gated separately
+/// from enabled(): the lateness assertion fires on *every* snapshot read
+/// through sim::StaleSnapshotView, which is far hotter than round-boundary
+/// invariant checks. Switched on by RECONFNET_ORACLEAUDIT.
+[[nodiscard]] inline bool oracle_enabled() noexcept {
+  return detail::oracle_enabled_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_oracle_enabled(bool on) noexcept {
+  detail::oracle_enabled_flag().store(on, std::memory_order_relaxed);
+}
+
 [[nodiscard]] inline Stats stats() noexcept {
   return {detail::checks_counter().load(std::memory_order_relaxed),
           detail::violations_counter().load(std::memory_order_relaxed)};
@@ -136,6 +165,24 @@ class ScopedEnable {
   ScopedEnable& operator=(const ScopedEnable&) = delete;
   ScopedEnable(ScopedEnable&&) = delete;
   ScopedEnable& operator=(ScopedEnable&&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// RAII oracle-audit toggle, mirroring ScopedEnable for the adversary
+/// information-flow checks.
+class ScopedOracleEnable {
+ public:
+  explicit ScopedOracleEnable(bool on = true) : previous_(oracle_enabled()) {
+    set_oracle_enabled(on);
+  }
+  ~ScopedOracleEnable() { set_oracle_enabled(previous_); }
+
+  ScopedOracleEnable(const ScopedOracleEnable&) = delete;
+  ScopedOracleEnable& operator=(const ScopedOracleEnable&) = delete;
+  ScopedOracleEnable(ScopedOracleEnable&&) = delete;
+  ScopedOracleEnable& operator=(ScopedOracleEnable&&) = delete;
 
  private:
   bool previous_;

@@ -431,6 +431,21 @@ std::vector<Violation> check_blocked_budget(
   return out;
 }
 
+std::vector<Violation> check_adversary_lateness(sim::Round now,
+                                                sim::Round snapshot_round,
+                                                sim::Round lateness) {
+  std::vector<Violation> out;
+  if (now - snapshot_round < lateness) {
+    add(out, "adversary.lateness",
+        "adversary acting at round " + std::to_string(now) +
+            " read a snapshot from round " + std::to_string(snapshot_round) +
+            " (only " + std::to_string(now - snapshot_round) +
+            " rounds stale), violating the configured lateness t=" +
+            std::to_string(lateness));
+  }
+  return out;
+}
+
 std::vector<Violation> check_request_conservation(std::uint64_t issued,
                                                   std::uint64_t completed,
                                                   std::uint64_t failed,

@@ -169,6 +169,14 @@ struct DeliveryRecord {
     const sim::BlockedSet& blocked, std::size_t budget,
     const std::unordered_set<sim::NodeId>& known_ids);
 
+/// The Section 1.1 t-lateness contract: an adversary acting at round `now`
+/// may only read snapshots at least `lateness` rounds stale, i.e.
+/// now - snapshot_round >= lateness. Enforced on every snapshot read through
+/// sim::StaleSnapshotView when audit::oracle_enabled() (RECONFNET_ORACLEAUDIT)
+/// is set; the static half of the seam is reconfnet_oraclecheck.
+[[nodiscard]] std::vector<Violation> check_adversary_lateness(
+    sim::Round now, sim::Round snapshot_round, sim::Round lateness);
+
 // --- Workload request conservation (DESIGN.md §12) --------------------------
 
 /// Open-loop request accounting: every issued request is completed, failed,

@@ -8,6 +8,7 @@
 #include "audit/invariants.hpp"
 #include "graph/connectivity.hpp"
 #include "sampling/hypercube_sampler.hpp"
+#include "sim/stale_view.hpp"
 #include "support/sorted.hpp"
 
 namespace reconfnet::combined {
@@ -122,7 +123,9 @@ void CombinedOverlay::advance_round(adversary::ChurnAdversary& churn,
   if (attack.adversary != nullptr) {
     const auto budget = static_cast<std::size_t>(
         attack.blocked_fraction * static_cast<double>(n));
-    const auto* stale = snapshots_.stale_view(round_ - attack.lateness);
+    snapshots_.ensure_lateness_horizon(attack.lateness);
+    const sim::StaleSnapshotView stale =
+        sim::serve_stale(snapshots_, round_, attack.lateness);
     const auto universe = super_.all_nodes();
     blocked = attack.adversary->choose(stale, universe, budget, round_);
     // Round-boundary audit: the r-bounded adversary must respect its budget

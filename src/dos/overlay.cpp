@@ -9,6 +9,7 @@
 #include "audit/invariants.hpp"
 #include "graph/connectivity.hpp"
 #include "sampling/hypercube_sampler.hpp"
+#include "sim/stale_view.hpp"
 
 namespace reconfnet::dos {
 namespace {
@@ -62,7 +63,9 @@ void DosOverlay::advance_round(const Attack& attack,
   if (attack.adversary != nullptr) {
     const auto budget = static_cast<std::size_t>(
         attack.blocked_fraction * static_cast<double>(n));
-    const auto* stale = snapshots_.stale_view(round_ - attack.lateness);
+    snapshots_.ensure_lateness_horizon(attack.lateness);
+    const sim::StaleSnapshotView stale =
+        sim::serve_stale(snapshots_, round_, attack.lateness);
     // The id space is public knowledge; the secret is the group structure.
     const auto universe = groups_.all_nodes();
     blocked = attack.adversary->choose(stale, universe, budget, round_);

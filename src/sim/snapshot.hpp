@@ -30,9 +30,17 @@ struct TopologySnapshot {
     const TopologySnapshot& snapshot);
 
 /// Ring buffer of per-round snapshots with bounded memory.
+///
+/// Retention policy (pinned in tools/oraclecheck/oracle.toml): eviction is
+/// capacity-driven but may never drop the freshest snapshot that is at least
+/// `lateness_horizon()` rounds older than the newest one — that snapshot is
+/// exactly what stale_view(now - t) serves a t-late adversary, and silently
+/// evicting it would turn a t-late adversary into a no-information one
+/// mid-run. When the horizon demands more history than `capacity` allows,
+/// the horizon wins and the buffer grows past capacity.
 class SnapshotBuffer {
  public:
-  /// Keeps at most `capacity` snapshots (old ones are evicted).
+  /// Keeps at most `capacity` snapshots, subject to the lateness horizon.
   explicit SnapshotBuffer(std::size_t capacity = 256);
 
   void push(TopologySnapshot snapshot);
@@ -47,10 +55,19 @@ class SnapshotBuffer {
     return buffer_.empty() ? nullptr : &buffer_.back();
   }
 
+  /// Raises the lateness horizon to at least `lateness` rounds: from now on
+  /// eviction keeps whatever snapshot stale_view(newest - lateness) needs.
+  /// Harnesses call this when an attack's lateness is configured; the horizon
+  /// only ever grows (the strongest adversary seen pins the history).
+  void ensure_lateness_horizon(Round lateness);
+
+  [[nodiscard]] Round lateness_horizon() const { return horizon_; }
+
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
 
  private:
   std::size_t capacity_;
+  Round horizon_ = 0;
   std::deque<TopologySnapshot> buffer_;  // ascending round order
 };
 

@@ -1,0 +1,95 @@
+// Access-audited stale-snapshot view — the only object a DoS adversary is
+// handed (Section 1.1). Wraps the TopologySnapshot served by
+// SnapshotBuffer::stale_view(now - t) together with the round it was served
+// in and the configured lateness t, and logs every read. Under
+// RECONFNET_ORACLEAUDIT (audit::oracle_enabled()) each read re-asserts the
+// information-flow contract now - snapshot.round >= t via
+// audit::check_adversary_lateness, so an adversary that somehow obtained a
+// too-fresh view fails loudly on first use instead of silently invalidating
+// the T/A/W experiment families. The static half of the same seam is
+// reconfnet_oraclecheck (tools/oraclecheck/, DESIGN.md §14).
+//
+// Layering: this file sits with sim/bus.hpp ABOVE src/audit/ (it hosts audit
+// hooks), unlike the passive sim-core value types in snapshot.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "audit/audit.hpp"
+#include "audit/invariants.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/types.hpp"
+
+namespace reconfnet::sim {
+
+/// The adversary-facing view of a (possibly absent) stale snapshot. All
+/// snapshot accessors count as reads and are lateness-audited; has_snapshot()
+/// and the metadata accessors are free (they reveal nothing about topology).
+class StaleSnapshotView {
+ public:
+  /// An empty view: no snapshot old enough exists yet.
+  StaleSnapshotView() = default;
+
+  /// Wraps `snapshot` (may be nullptr) as served to an adversary acting at
+  /// round `now` under configured lateness `lateness`.
+  StaleSnapshotView(const TopologySnapshot* snapshot, Round now,
+                    Round lateness)
+      : snapshot_(snapshot), now_(now), lateness_(lateness) {}
+
+  [[nodiscard]] bool has_snapshot() const { return snapshot_ != nullptr; }
+
+  /// Round the adversary is acting in (public knowledge).
+  [[nodiscard]] Round now() const { return now_; }
+  /// The enforced lateness t (part of the adversary's own parameters).
+  [[nodiscard]] Round lateness() const { return lateness_; }
+
+  /// Round the snapshot was taken in. Audited read; requires has_snapshot().
+  [[nodiscard]] Round round() const {
+    audit_read();
+    return snapshot_->round;
+  }
+
+  /// Node set of the stale topology. Audited read; requires has_snapshot().
+  [[nodiscard]] std::span<const NodeId> nodes() const {
+    audit_read();
+    return snapshot_->nodes;
+  }
+
+  /// Edge set of the stale topology. Audited read; requires has_snapshot().
+  [[nodiscard]] std::span<const std::pair<NodeId, NodeId>> edges() const {
+    audit_read();
+    return snapshot_->edges;
+  }
+
+  /// Number of audited reads performed through this view (the access log the
+  /// leak-probe tests and the oracle-audit CI leg inspect).
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+
+ private:
+  void audit_read() const {
+    ++reads_;
+    if (audit::oracle_enabled()) {
+      audit::enforce(audit::check_adversary_lateness(now_, snapshot_->round,
+                                                     lateness_));
+    }
+  }
+
+  const TopologySnapshot* snapshot_ = nullptr;
+  Round now_ = 0;
+  Round lateness_ = 0;
+  mutable std::uint64_t reads_ = 0;
+};
+
+/// The one sanctioned way a harness serves an adversary its view: the
+/// freshest snapshot at least `lateness` rounds older than `now`, wrapped for
+/// access auditing. reconfnet_oraclecheck pins every call site of this
+/// function ([[servesite]] in oracle.toml, rule RNO604) so the staleness
+/// arithmetic cannot drift toward literals or stale_view(now).
+[[nodiscard]] inline StaleSnapshotView serve_stale(const SnapshotBuffer& buffer,
+                                                   Round now, Round lateness) {
+  return {buffer.stale_view(now - lateness), now, lateness};
+}
+
+}  // namespace reconfnet::sim

@@ -14,7 +14,7 @@ KeyDist::KeyDist(const KeyDistConfig& config) : config_(config) {
   if (config_.theta < 0.0) {
     throw std::invalid_argument("KeyDist: theta must be non-negative");
   }
-  const int bits = std::bit_width(config_.keyspace - 1);
+  const int bits = static_cast<int>(std::bit_width(config_.keyspace - 1));
   mask_ = bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
   shift_ = std::max(1, bits / 2);
   if (config_.theta == 0.0) return;  // uniform: no table needed

@@ -166,11 +166,17 @@ sim::TopologySnapshot ring_snapshot(std::size_t n) {
   return snap;
 }
 
+// Tests hand adversaries a view directly (lateness 0: the trivial contract),
+// standing in for the harness serve site.
+sim::StaleSnapshotView stale(const sim::TopologySnapshot& snap) {
+  return sim::StaleSnapshotView(&snap, snap.round, 0);
+}
+
 TEST(RandomDos, RespectsBudgetAndNodeSet) {
   support::Rng rng(11);
   RandomDos dos(rng);
   const auto snap = ring_snapshot(20);
-  const auto blocked = dos.choose(&snap, {}, 7, 0);
+  const auto blocked = dos.choose(stale(snap), {}, 7, 0);
   EXPECT_EQ(blocked.size(), 7u);
   for (auto node : blocked.sorted_ids()) EXPECT_LT(node, 20u);
 }
@@ -178,7 +184,7 @@ TEST(RandomDos, RespectsBudgetAndNodeSet) {
 TEST(RandomDos, NoSnapshotBlocksNothing) {
   support::Rng rng(12);
   RandomDos dos(rng);
-  EXPECT_EQ(dos.choose(nullptr, {}, 10, 0).size(), 0u);
+  EXPECT_EQ(dos.choose(sim::StaleSnapshotView{}, {}, 10, 0).size(), 0u);
 }
 
 TEST(IsolationDos, IsolatesANonBlockedVictim) {
@@ -186,7 +192,7 @@ TEST(IsolationDos, IsolatesANonBlockedVictim) {
   IsolationDos dos(rng);
   const auto snap = ring_snapshot(20);
   // Budget 2 = exactly one victim's two ring neighbors.
-  const auto blocked = dos.choose(&snap, {}, 2, 0);
+  const auto blocked = dos.choose(stale(snap), {}, 2, 0);
   EXPECT_EQ(blocked.size(), 2u);
   // Some NON-blocked node has both its ring neighbors blocked: isolated.
   bool isolated = false;
@@ -203,7 +209,7 @@ TEST(IsolationDos, SpendsFullBudget) {
   support::Rng rng(14);
   IsolationDos dos(rng);
   const auto snap = ring_snapshot(30);
-  EXPECT_EQ(dos.choose(&snap, {}, 10, 0).size(), 10u);
+  EXPECT_EQ(dos.choose(stale(snap), {}, 10, 0).size(), 10u);
 }
 
 TEST(GroupWipeDos, WipesCliquesInSnapshot) {
@@ -220,7 +226,7 @@ TEST(GroupWipeDos, WipesCliquesInSnapshot) {
   snap.edges.emplace_back(0, 4);
   support::Rng rng(15);
   GroupWipeDos dos(rng);
-  const auto blocked = dos.choose(&snap, {}, 4, 0);
+  const auto blocked = dos.choose(stale(snap), {}, 4, 0);
   EXPECT_EQ(blocked.size(), 4u);
   // All four blocked nodes belong to the same clique.
   std::size_t low = 0, high = 0;
@@ -236,9 +242,107 @@ TEST(StickyRandomDos, HoldsBlockedSet) {
   support::Rng rng(16);
   StickyRandomDos dos(rng, 3);
   const auto snap = ring_snapshot(40);
-  const auto first = dos.choose(&snap, {}, 10, 0);
-  const auto second = dos.choose(&snap, {}, 10, 1);
+  const auto first = dos.choose(stale(snap), {}, 10, 0);
+  const auto second = dos.choose(stale(snap), {}, 10, 1);
   EXPECT_EQ(first.sorted_ids(), second.sorted_ids());
+}
+
+// Two disjoint 4-cliques: the unambiguous apparent-group partition
+// {0,1,2,3} / {4,5,6,7}.
+sim::TopologySnapshot two_cliques_snapshot(sim::Round round) {
+  sim::TopologySnapshot snap;
+  snap.round = round;
+  for (sim::NodeId v = 0; v < 8; ++v) snap.nodes.push_back(v);
+  for (sim::NodeId a = 0; a < 4; ++a) {
+    for (sim::NodeId b = a + 1; b < 4; ++b) snap.edges.emplace_back(a, b);
+  }
+  for (sim::NodeId a = 4; a < 8; ++a) {
+    for (sim::NodeId b = a + 1; b < 8; ++b) snap.edges.emplace_back(a, b);
+  }
+  return snap;
+}
+
+// The same eight nodes regrouped across the old boundary: neither original
+// clique survives as a majority anywhere.
+sim::TopologySnapshot regrouped_cliques_snapshot(sim::Round round) {
+  sim::TopologySnapshot snap;
+  snap.round = round;
+  for (sim::NodeId v = 0; v < 8; ++v) snap.nodes.push_back(v);
+  const std::vector<std::vector<sim::NodeId>> cliques{{0, 1, 4, 5},
+                                                      {2, 3, 6, 7}};
+  for (const auto& clique : cliques) {
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      for (std::size_t j = i + 1; j < clique.size(); ++j) {
+        snap.edges.emplace_back(clique[i], clique[j]);
+      }
+    }
+  }
+  return snap;
+}
+
+TEST(AdaptiveDos, WipesApparentGroupsWhilePersistenceHolds) {
+  AdaptiveDos dos(support::Rng(20));
+  EXPECT_DOUBLE_EQ(dos.persistence(), 1.0);
+  // Initial persistence 1.0: the whole budget goes to whole-group wipes,
+  // smallest group first with ties broken on the lowest member id.
+  const auto snap_a = two_cliques_snapshot(0);
+  const auto first = dos.choose(stale(snap_a), {}, 4, 10);
+  EXPECT_EQ(first.sorted_ids(), (std::vector<sim::NodeId>{0, 1, 2, 3}));
+  // The next snapshot shows the same partition: the attacked group
+  // persisted, so the belief (and the strategy) holds.
+  const auto snap_b = two_cliques_snapshot(5);
+  const auto second = dos.choose(stale(snap_b), {}, 4, 15);
+  EXPECT_EQ(second.sorted_ids(), (std::vector<sim::NodeId>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(dos.persistence(), 1.0);
+}
+
+TEST(AdaptiveDos, PersistenceDecaysWhenReconfigurationDissolvesGroups) {
+  AdaptiveDos dos(support::Rng(20));
+  const auto snap_a = two_cliques_snapshot(0);
+  (void)dos.choose(stale(snap_a), {}, 4, 10);
+  // Reconfiguration regrouped the nodes: no current group holds a strict
+  // majority of the attacked one, so the persistence belief halves and the
+  // budget shifts from group wipes to random pressure.
+  const auto snap_c = regrouped_cliques_snapshot(10);
+  const auto plan = dos.choose(stale(snap_c), {}, 4, 20);
+  EXPECT_DOUBLE_EQ(dos.persistence(), 0.5);
+  EXPECT_EQ(plan.size(), 4u);  // budget still fully spent
+  for (auto node : plan.sorted_ids()) EXPECT_LT(node, 8u);
+}
+
+TEST(AdaptiveDos, EmptyViewFallsBackToRandomOverUniverse) {
+  AdaptiveDos dos(support::Rng(21));
+  const auto universe = make_members(30);
+  const auto blocked =
+      dos.choose(sim::StaleSnapshotView{}, universe, 5, 0);
+  EXPECT_EQ(blocked.size(), 5u);
+  for (auto node : blocked.sorted_ids()) EXPECT_LT(node, 30u);
+}
+
+TEST(AdaptiveDos, LeakProbeOutputIsFunctionOfViewAndOwnState) {
+  // Replay probe: two identically-seeded adversaries fed the same view
+  // CONTENTS through distinct snapshot objects must produce identical plans
+  // step for step. A divergence would mean the output depends on something
+  // beyond (stale view, universe, budget, own state) — object identity,
+  // hidden globals, live overlay state: exactly the covert channels
+  // reconfnet_oraclecheck bans statically and RECONFNET_ORACLEAUDIT checks
+  // dynamically.
+  AdaptiveDos a(support::Rng(22));
+  AdaptiveDos b(support::Rng(22));
+  for (int step = 0; step < 6; ++step) {
+    const auto round = static_cast<sim::Round>(5 * step);
+    const auto snap_a = two_cliques_snapshot(round);
+    auto snap_b = two_cliques_snapshot(round);
+    snap_b.nodes.reserve(64);  // same observable content, different object
+    const auto view_a = stale(snap_a);
+    const auto view_b = stale(snap_b);
+    const auto plan_a = a.choose(view_a, {}, 3, 100 + step);
+    const auto plan_b = b.choose(view_b, {}, 3, 100 + step);
+    EXPECT_EQ(plan_a.sorted_ids(), plan_b.sorted_ids()) << "step " << step;
+    // The access log proves the reads went through the audited view.
+    EXPECT_GT(view_a.reads(), 0u);
+    EXPECT_EQ(view_a.reads(), view_b.reads());
+  }
 }
 
 }  // namespace

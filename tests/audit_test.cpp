@@ -287,6 +287,32 @@ TEST(AuditAdversary, FiresOnBudgetOverrunAndUnknownNodes) {
   EXPECT_TRUE(audit::check_blocked_budget(fine, 2, universe).empty());
 }
 
+// --- adversary lateness contract (Section 1.1 t-lateness) --------------------
+
+TEST(AuditAdversary, LatenessCheckFiresOnTooFreshView) {
+  // now=10, snapshot=8, t=5: the view is only 2 rounds stale.
+  EXPECT_TRUE(has_check(audit::check_adversary_lateness(10, 8, 5),
+                        "adversary.lateness"));
+  // Exactly t rounds stale is the boundary the contract permits.
+  EXPECT_TRUE(audit::check_adversary_lateness(13, 8, 5).empty());
+  // Lateness 0 is trivially satisfied even by the freshest snapshot.
+  EXPECT_TRUE(audit::check_adversary_lateness(10, 10, 0).empty());
+}
+
+TEST(AuditCore, ScopedOracleEnableTogglesAndRestores) {
+  const bool before = audit::oracle_enabled();
+  {
+    const audit::ScopedOracleEnable on;
+    EXPECT_TRUE(audit::oracle_enabled());
+    {
+      const audit::ScopedOracleEnable off(false);
+      EXPECT_FALSE(audit::oracle_enabled());
+    }
+    EXPECT_TRUE(audit::oracle_enabled());
+  }
+  EXPECT_EQ(audit::oracle_enabled(), before);
+}
+
 // --- end-to-end: hooks wired into the overlays ------------------------------
 
 TEST(AuditHooks, ChurnOverlayHealthyEpochIsSilent) {
@@ -338,6 +364,36 @@ TEST(AuditHooks, CombinedOverlayHealthyEpochIsSilent) {
   adversary::NoChurn quiet;
   const auto report = overlay.run_epoch(quiet, {});
   EXPECT_TRUE(report.success) << report.failure_reason;
+  EXPECT_GT(audit::stats().checks_run, 0u);
+  EXPECT_EQ(audit::stats().violations_found, 0u);
+}
+
+TEST(AuditHooks, OracleAuditSilentAcrossCombinedEpochsUnderAttack) {
+  // The RECONFNET_ORACLEAUDIT dynamic twin of reconfnet_oraclecheck: with
+  // the oracle audit armed, every adversary read of its stale view
+  // re-asserts now - snapshot.round >= t. Churn reconfigures the overlay
+  // across epochs while a t-late DoS adversary keeps reading; the serve
+  // sites' staleness arithmetic must hold on every read of every epoch.
+  const audit::ScopedOracleEnable oracle;
+  ScopedEnable on;
+  audit::reset_stats();
+  combined::CombinedOverlay::Config config;
+  config.initial_size = 256;
+  config.group_c = 2.0;
+  config.seed = 29;
+  combined::CombinedOverlay overlay(config);
+  support::Rng churn_rng(30);
+  adversary::UniformChurn churn(0.02, 1.0, 2.0, churn_rng);
+  support::Rng dos_rng(31);
+  adversary::RandomDos dos(dos_rng);
+  combined::CombinedOverlay::Attack attack;
+  attack.adversary = &dos;
+  attack.blocked_fraction = 0.2;
+  attack.lateness = 12;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const auto report = overlay.run_epoch(churn, attack);
+    EXPECT_TRUE(report.success) << report.failure_reason;
+  }
   EXPECT_GT(audit::stats().checks_run, 0u);
   EXPECT_EQ(audit::stats().violations_found, 0u);
 }

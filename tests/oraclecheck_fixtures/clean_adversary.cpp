@@ -1,0 +1,36 @@
+// A well-behaved t-late adversary: consumes only the harness-served stale
+// view, draws from its own split Rng stream, and touches no live state.
+// Fed to the Driver under the synthetic path src/adversary/clean.hpp.
+#include <vector>
+
+#include "adversary/dos.hpp"
+#include "sim/blocked.hpp"
+#include "sim/stale_view.hpp"
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::adversary {
+
+class PoliteDos final : public DosAdversary {
+ public:
+  explicit PoliteDos(support::Rng rng) : rng_(rng) {}
+
+  sim::BlockedSet choose(const sim::StaleSnapshotView& stale,
+                         std::span<const sim::NodeId> universe,
+                         std::size_t budget, sim::Round now) override {
+    sim::BlockedSet blocked;
+    if (!stale.has_snapshot()) return blocked;
+    const auto nodes = stale.nodes();
+    for (std::size_t i = 0; i < budget && i < nodes.size(); ++i) {
+      blocked.insert(nodes[rng_.below(nodes.size())]);
+    }
+    (void)now;
+    (void)universe;
+    return blocked;
+  }
+
+ private:
+  support::Rng rng_;
+};
+
+}  // namespace reconfnet::adversary

@@ -1,0 +1,20 @@
+// RNO601 violations: an adversary TU that includes live-state headers and
+// references live-state types — it can see the bus, so it is not t-late.
+#include "adversary/dos.hpp"
+#include "sim/bus.hpp"              // line 4: include outside the surface
+#include "structures/groups.hpp"   // line 5: include outside the surface
+#include "support/rng.hpp"
+
+namespace reconfnet::adversary {
+
+class OmniscientDos {
+ public:
+  void observe(const sim::Bus& bus) {           // line 12: Bus reference
+    last_ = bus.pending();
+  }
+  void infer(const structures::GroupTable& g);  // line 15: GroupTable
+ private:
+  std::size_t last_ = 0;
+};
+
+}  // namespace reconfnet::adversary

@@ -1,0 +1,27 @@
+// RNO602 violations: an adversary that reaches for the snapshot machinery
+// itself instead of consuming the harness-served stale view.
+#include "adversary/dos.hpp"
+#include "sim/snapshot.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::adversary {
+
+class FreshDos {
+ public:
+  void peek(const sim::SnapshotBuffer& buffer) {  // line 11: SnapshotBuffer
+    const auto* snap = buffer.latest();           // line 12: latest() call
+    if (snap != nullptr) cached_round_ = snap->round;
+  }
+  void self_serve(const sim::SnapshotBuffer& buffer) {  // line 15
+    const auto* snap = buffer.stale_view(0);            // line 16
+    (void)snap;
+  }
+  sim::TopologySnapshot forge() const {  // line 19: TopologySnapshot
+    return {};
+  }
+
+ private:
+  long cached_round_ = 0;
+};
+
+}  // namespace reconfnet::adversary

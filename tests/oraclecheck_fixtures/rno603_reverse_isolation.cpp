@@ -1,0 +1,16 @@
+// RNO603 violations: protocol code (fed under a non-harness src/ path) that
+// includes an adversary header and special-cases a concrete strategy.
+#include "adversary/dos.hpp"  // line 3: adversary include from protocol code
+#include "structures/groups.hpp"
+
+namespace reconfnet::structures {
+
+void GroupTable::harden(const void* attacker) {
+  // line 11: naming a concrete strategy couples protocol behavior to the
+  // attacker — the overlay must treat every adversary identically.
+  if (dynamic_cast<const adversary::PoliteDos*>(attacker) != nullptr) {
+    rebalance_aggressively();
+  }
+}
+
+}  // namespace reconfnet::structures

@@ -1,0 +1,28 @@
+// RNO604 violations: staleness arithmetic drifting from the spec-pinned
+// serve shape. Fed under src/dos/overlay.cpp with a servesite declared for
+// advance_round(round = round_, lateness = attack.lateness).
+#include "dos/overlay.hpp"
+#include "sim/stale_view.hpp"
+
+namespace reconfnet::dos {
+
+void DosOverlay::advance_round(const Attack& attack) {
+  // line 12: numeric-literal lateness — serves a fixed-freshness view no
+  // matter what the experiment configured.
+  const auto stale_a = sim::serve_stale(snapshots_, round_, 4);
+  // line 15: wrong round identifier (current_ instead of round_) and no
+  // declared lateness expression.
+  const auto stale_b = sim::serve_stale(snapshots_, current_, lateness_);
+  attack.adversary->choose(stale_b, {}, 0, round_);
+}
+
+void DosOverlay::debug_dump() {
+  // line 21: serve_stale outside any declared [[servesite]].
+  const auto stale = sim::serve_stale(snapshots_, round_, attack_.lateness);
+  // line 23: raw stale_view bypasses the access-audited serve path.
+  const auto* snap = snapshots_.stale_view(round_ - attack_.lateness);
+  (void)stale;
+  (void)snap;
+}
+
+}  // namespace reconfnet::dos

@@ -1,0 +1,25 @@
+// RNO605 violations: adversary strategies constructed with inline Rng seeds
+// that are not derived from a dedicated split stream. Registered alongside
+// clean_adversary.cpp (which defines PoliteDos) so strategy discovery sees
+// the class; fed under a bench/ path.
+#include <memory>
+
+#include "adversary/dos.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::bench {
+
+void run_trial(support::Rng& rng, unsigned long master_seed) {
+  // line 14: raw literal seed — collides with every other stream seeded 7.
+  adversary::PoliteDos bad(support::Rng(7));
+  // line 17: arithmetic on the master seed is still not a split stream.
+  auto worse = std::make_unique<adversary::PoliteDos>(
+      support::Rng(master_seed + 1));
+  // Sanctioned shapes: forwarding an Rng, splitting, deriving.
+  adversary::PoliteDos ok_forward(rng);
+  adversary::PoliteDos ok_split(support::Rng(rng.split(3)));
+  adversary::PoliteDos ok_derived(support::Rng(derive_seed(master_seed, 2)));
+  (void)worse;
+}
+
+}  // namespace reconfnet::bench

@@ -1,0 +1,25 @@
+// RNO606 violations: adversary code reaching known-global mutable state,
+// directly and through a same-file callee (the one-level call-graph walk).
+#include "adversary/dos.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::adversary {
+
+namespace {
+
+void bump_epoch() {
+  ++g_attack_epoch;  // the global itself is flagged where it is touched
+}
+
+}  // namespace
+
+class LeakyDos {
+ public:
+  void tick() {
+    ++g_attack_epoch;       // line 19: direct g_-prefixed global write
+    checks_counter();       // line 20: spec-listed global accessor
+    bump_epoch();           // line 21: one-level walk reaches g_attack_epoch
+  }
+};
+
+}  // namespace reconfnet::adversary

@@ -1,0 +1,17 @@
+// RNO690 violations: suppression comments that do not parse. A suppression
+// that silently fails open would hide real findings, so the malformed shapes
+// are findings themselves.
+#include "adversary/dos.hpp"
+
+namespace reconfnet::adversary {
+
+// reconfnet-oraclecheck: allow() forgot the rule id
+void a();
+
+// reconfnet-oraclecheck: allow(RNO601 missing close paren
+void b();
+
+// reconfnet-oraclecheck: allow(RNR501) wrong tool's rule id
+void c();
+
+}  // namespace reconfnet::adversary

@@ -1,0 +1,17 @@
+// Suppression behavior: a real violation carrying a reasoned inline allow
+// (dropped, recorded as suppressed), and a stale allow on a clean line.
+#include "adversary/dos.hpp"
+#include "support/rng.hpp"
+
+namespace reconfnet::adversary {
+
+class AuditedDos {
+ public:
+  // reconfnet-oraclecheck: allow(RNO601) fixture: exercising suppression flow
+  void observe(const sim::Bus& bus);  // would be RNO601 (live-state Bus)
+
+  // reconfnet-oraclecheck: allow(RNO602) stale: nothing fires on this line
+  void quiet();
+};
+
+}  // namespace reconfnet::adversary

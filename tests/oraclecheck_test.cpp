@@ -1,0 +1,355 @@
+// Tests for reconfnet_oraclecheck (tools/oraclecheck/): one test per RNO
+// rule id, driven by the fixtures in tests/oraclecheck_fixtures/, plus
+// coverage for the oracle.toml parser, strategy discovery, suppressions
+// (including stale detection) and the spec-drift legs. The fixtures
+// directory is excluded from every repo-wide tool walk, so the deliberate
+// violations never reach the real gate; the tests feed them to the Driver
+// under synthetic paths, in partial mode like the CLI's explicit-file runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "toolcheck_util.hpp"
+#include "tools/oraclecheck/oraclecheck.hpp"
+
+namespace oc = reconfnet::oraclecheck;
+
+using reconfnet::toolcheck::lines_of;
+
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  return reconfnet::toolcheck::read_fixture_file(
+      RECONFNET_ORACLECHECK_FIXTURES, name);
+}
+
+/// A spec mirroring the real oracle.toml surface, with one DoS entrypoint so
+/// strategy discovery (RNO603/605) recognises classes deriving from
+/// DosAdversary. Entrypoint/servesite drift (RNO610) is exercised by its own
+/// tests; the fixture tests run in partial mode, which skips it.
+oc::Spec surface_spec() {
+  oc::Spec spec;
+  spec.adversary_paths = {"src/adversary/"};
+  spec.permitted_includes = {"adversary/", "sim/types.hpp",
+                             "sim/blocked.hpp", "sim/stale_view.hpp",
+                             "support/"};
+  spec.live_state = {"Bus", "WorkMeter", "GroupTable"};
+  spec.rng_derivations = {"split", "trial_rng", "derive_seed", "seed"};
+  spec.globals = {"checks_counter"};
+  spec.harness_paths = {"src/dos/", "src/combined/", "src/apps/"};
+  spec.retention = "lateness-horizon";
+  spec.buffer_file = "src/sim/snapshot.hpp";
+  spec.horizon_method = "ensure_lateness_horizon";
+  oc::EntrypointSpec ep;
+  ep.name = "dos-choose";
+  ep.file = "src/adversary/dos.hpp";
+  ep.interface = "DosAdversary";
+  ep.method = "choose";
+  ep.view = "StaleSnapshotView";
+  ep.line = 1;
+  spec.entrypoints.push_back(ep);
+  return spec;
+}
+
+oc::Driver::Result run_fixture(const std::string& fixture,
+                               const std::string& as_path) {
+  oc::Driver driver(surface_spec(), "spec.toml");
+  driver.set_partial(true);
+  driver.add_file(as_path, read_fixture(fixture));
+  return driver.run();
+}
+
+// --- spec parser ------------------------------------------------------------
+
+TEST(OraclecheckSpec, ParsesSurfaceEntrypointsServesitesAndSnapshot) {
+  const std::string text = R"(
+[options]
+roots = ["src/", "bench/"]
+
+[surface]
+adversary_paths = ["src/adversary/"]
+permitted_includes = ["adversary/", "support/"]
+live_state = ["Bus"]
+rng_derivations = ["split"]
+globals = ["checks_counter"]
+harness_paths = ["src/dos/"]
+
+[[entrypoint]]
+name = "dos-choose"
+file = "src/adversary/dos.hpp"
+interface = "DosAdversary"
+method = "choose"
+view = "StaleSnapshotView"
+note = "t-late"
+
+[[servesite]]
+name = "dos-overlay"
+file = "src/dos/overlay.cpp"
+function = "advance_round"
+round = "round_"
+lateness = "attack.lateness"
+
+[snapshot]
+retention = "lateness-horizon"
+buffer_file = "src/sim/snapshot.hpp"
+horizon_method = "ensure_lateness_horizon"
+
+[allow]
+RNO690 = ["tools/oraclecheck/"]
+)";
+  oc::Spec spec;
+  std::string error;
+  ASSERT_TRUE(oc::parse_spec(text, spec, error)) << error;
+  EXPECT_EQ(spec.roots, (std::vector<std::string>{"src/", "bench/"}));
+  EXPECT_EQ(spec.adversary_paths,
+            (std::vector<std::string>{"src/adversary/"}));
+  EXPECT_EQ(spec.live_state, (std::vector<std::string>{"Bus"}));
+  ASSERT_EQ(spec.entrypoints.size(), 1u);
+  EXPECT_EQ(spec.entrypoints[0].interface, "DosAdversary");
+  EXPECT_EQ(spec.entrypoints[0].view, "StaleSnapshotView");
+  ASSERT_EQ(spec.servesites.size(), 1u);
+  EXPECT_EQ(spec.servesites[0].round_ident, "round_");
+  EXPECT_EQ(spec.servesites[0].lateness, "attack.lateness");
+  EXPECT_EQ(spec.retention, "lateness-horizon");
+  EXPECT_EQ(spec.horizon_method, "ensure_lateness_horizon");
+  ASSERT_EQ(spec.allow.count("RNO690"), 1u);
+}
+
+TEST(OraclecheckSpec, RejectsBadShapes) {
+  oc::Spec spec;
+  std::string error;
+  // No [surface] adversary_paths at all.
+  EXPECT_FALSE(oc::parse_spec("[options]\nroots = [\"src/\"]\n", spec,
+                              error));
+  // Entrypoint missing required fields.
+  EXPECT_FALSE(oc::parse_spec(
+      "[surface]\nadversary_paths = [\"src/adversary/\"]\n"
+      "[[entrypoint]]\nname = \"x\"\n",
+      spec, error));
+  // Servesite missing the lateness expression.
+  EXPECT_FALSE(oc::parse_spec(
+      "[surface]\nadversary_paths = [\"src/adversary/\"]\n"
+      "[[servesite]]\nname = \"s\"\nfile = \"f.cpp\"\n"
+      "function = \"g\"\nround = \"round_\"\n",
+      spec, error));
+  // Unknown retention policy.
+  EXPECT_FALSE(oc::parse_spec(
+      "[surface]\nadversary_paths = [\"src/adversary/\"]\n"
+      "[snapshot]\nretention = \"keep-everything\"\n",
+      spec, error));
+  // Duplicate entrypoint name.
+  EXPECT_FALSE(oc::parse_spec(
+      "[surface]\nadversary_paths = [\"src/adversary/\"]\n"
+      "[[entrypoint]]\nname = \"x\"\nfile = \"f\"\ninterface = \"I\"\n"
+      "method = \"m\"\n"
+      "[[entrypoint]]\nname = \"x\"\nfile = \"f\"\ninterface = \"I\"\n"
+      "method = \"m\"\n",
+      spec, error));
+}
+
+// --- fixture-driven rule tests ---------------------------------------------
+
+TEST(Oraclecheck, CleanAdversaryPasses) {
+  const auto result =
+      run_fixture("clean_adversary.cpp", "src/adversary/clean.hpp");
+  EXPECT_TRUE(result.findings.empty()) << result.findings.size();
+  EXPECT_EQ(result.adversary_files, 1u);
+}
+
+TEST(Oraclecheck, RNO601FlagsLiveStateIncludesAndReferences) {
+  const auto result =
+      run_fixture("rno601_live_state.cpp", "src/adversary/omniscient.hpp");
+  EXPECT_EQ(lines_of(result, "RNO601"),
+            (std::vector<std::size_t>{4, 5, 12, 15}));
+}
+
+TEST(Oraclecheck, RNO602FlagsSnapshotMachineryReach) {
+  const auto result =
+      run_fixture("rno602_snapshot_reach.cpp", "src/adversary/fresh.hpp");
+  EXPECT_EQ(lines_of(result, "RNO602"),
+            (std::vector<std::size_t>{11, 12, 15, 16, 19}));
+  // The snapshot include itself is off the permitted surface too.
+  EXPECT_EQ(lines_of(result, "RNO601"), (std::vector<std::size_t>{4}));
+}
+
+TEST(Oraclecheck, RNO603FlagsProtocolReadingAdversaryInternals) {
+  oc::Driver driver(surface_spec(), "spec.toml");
+  driver.set_partial(true);
+  // The adversary file defines PoliteDos : DosAdversary, which discovery
+  // turns into a banned name for protocol code.
+  driver.add_file("src/adversary/clean.hpp",
+                  read_fixture("clean_adversary.cpp"));
+  driver.add_file("src/structures/groups.cpp",
+                  read_fixture("rno603_reverse_isolation.cpp"));
+  const auto result = driver.run();
+  EXPECT_EQ(lines_of(result, "RNO603"), (std::vector<std::size_t>{3, 11}));
+}
+
+TEST(Oraclecheck, RNO603ExemptsHarnessPaths) {
+  oc::Driver driver(surface_spec(), "spec.toml");
+  driver.set_partial(true);
+  driver.add_file("src/adversary/clean.hpp",
+                  read_fixture("clean_adversary.cpp"));
+  // The same file under a declared harness prefix is legitimate.
+  driver.add_file("src/dos/groups.cpp",
+                  read_fixture("rno603_reverse_isolation.cpp"));
+  const auto result = driver.run();
+  EXPECT_TRUE(lines_of(result, "RNO603").empty());
+}
+
+TEST(Oraclecheck, RNO604FlagsStalenessDrift) {
+  oc::Spec spec = surface_spec();
+  oc::ServeSiteSpec site;
+  site.name = "dos-overlay";
+  site.file = "src/dos/overlay.cpp";
+  site.function = "advance_round";
+  site.round_ident = "round_";
+  site.lateness = "attack.lateness";
+  site.line = 1;
+  spec.servesites.push_back(site);
+  oc::Driver driver(std::move(spec), "spec.toml");
+  driver.set_partial(true);
+  driver.add_file("src/dos/overlay.cpp", read_fixture("rno604_drift.cpp"));
+  const auto result = driver.run();
+  const auto lines = lines_of(result, "RNO604");
+  // Line 12: literal lateness (also misses the declared expression and the
+  // horizon raise — findings collapse per line). Line 15: wrong round +
+  // missing expression. Line 21: serve outside any declared site. Line 23:
+  // raw stale_view.
+  EXPECT_EQ(lines, (std::vector<std::size_t>{12, 15, 21, 23}));
+  EXPECT_EQ(result.servesites_checked, 2u);
+}
+
+TEST(Oraclecheck, RNO605FlagsUnderivedInlineSeeds) {
+  oc::Driver driver(surface_spec(), "spec.toml");
+  driver.set_partial(true);
+  driver.add_file("src/adversary/clean.hpp",
+                  read_fixture("clean_adversary.cpp"));
+  driver.add_file("bench/bench_fixture.cpp",
+                  read_fixture("rno605_inline_seed.cpp"));
+  const auto result = driver.run();
+  EXPECT_EQ(lines_of(result, "RNO605"), (std::vector<std::size_t>{14, 17}));
+}
+
+TEST(Oraclecheck, RNO606FlagsGlobalReach) {
+  const auto result =
+      run_fixture("rno606_global_reach.cpp", "src/adversary/leaky.hpp");
+  EXPECT_EQ(lines_of(result, "RNO606"),
+            (std::vector<std::size_t>{11, 19, 20, 21}));
+}
+
+TEST(Oraclecheck, RNO690FlagsMalformedSuppressions) {
+  const auto result =
+      run_fixture("rno690_malformed.cpp", "src/adversary/sup.hpp");
+  EXPECT_EQ(lines_of(result, "RNO690"),
+            (std::vector<std::size_t>{8, 11, 14}));
+}
+
+// --- suppressions -----------------------------------------------------------
+
+TEST(Oraclecheck, InlineAllowSuppressesAndRecordsFinding) {
+  const auto result =
+      run_fixture("suppressions.cpp", "src/adversary/audited.hpp");
+  EXPECT_TRUE(lines_of(result, "RNO601").empty());
+  EXPECT_EQ(result.suppressed, 1u);
+  ASSERT_EQ(result.suppressed_findings.size(), 1u);
+  EXPECT_EQ(result.suppressed_findings[0].rule, "RNO601");
+  EXPECT_EQ(result.suppressed_findings[0].line, 11u);
+}
+
+TEST(Oraclecheck, ReportsStaleSuppressions) {
+  const auto result =
+      run_fixture("suppressions.cpp", "src/adversary/audited.hpp");
+  ASSERT_EQ(result.stale.size(), 1u);
+  EXPECT_EQ(result.stale[0].rule, "RNO602");
+  EXPECT_EQ(result.stale[0].line, 13u);
+}
+
+TEST(Oraclecheck, AllowCarveOutSuppressesWholesale) {
+  oc::Spec spec = surface_spec();
+  spec.allow["RNO601"] = {"src/adversary/omniscient"};
+  oc::Driver driver(std::move(spec), "spec.toml");
+  driver.set_partial(true);
+  driver.add_file("src/adversary/omniscient.hpp",
+                  read_fixture("rno601_live_state.cpp"));
+  const auto result = driver.run();
+  EXPECT_TRUE(lines_of(result, "RNO601").empty());
+  EXPECT_EQ(result.suppressed, 4u);
+}
+
+// --- RNO610: spec drift -----------------------------------------------------
+
+TEST(Oraclecheck, RNO610FlagsMissingEntrypointPieces) {
+  // Interface present, method present, but the declared view type is gone:
+  // the entry point no longer consumes the stale view.
+  oc::Spec spec = surface_spec();
+  spec.buffer_file.clear();  // isolate the entrypoint leg
+  oc::Driver driver(std::move(spec), "spec.toml");
+  driver.add_file("src/adversary/dos.hpp",
+                  "class DosAdversary {\n"
+                  " public:\n"
+                  "  virtual int choose(int budget) = 0;\n"
+                  "};\n");
+  const auto result = driver.run();
+  const auto lines = lines_of(result, "RNO610");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(result.findings[0].file, "spec.toml");
+}
+
+TEST(Oraclecheck, RNO610FlagsUnregisteredEntrypointFile) {
+  oc::Spec spec = surface_spec();
+  spec.buffer_file.clear();
+  oc::Driver driver(std::move(spec), "spec.toml");
+  driver.add_file("src/adversary/other.hpp", "class Unrelated {};\n");
+  const auto result = driver.run();
+  EXPECT_EQ(lines_of(result, "RNO610").size(), 1u);
+}
+
+TEST(Oraclecheck, RNO610FlagsDeadServeSite) {
+  oc::Spec spec = surface_spec();
+  spec.entrypoints.clear();
+  spec.buffer_file.clear();
+  oc::ServeSiteSpec site;
+  site.name = "dos-overlay";
+  site.file = "src/dos/overlay.cpp";
+  site.function = "advance_round";
+  site.round_ident = "round_";
+  site.lateness = "attack.lateness";
+  site.line = 7;
+  spec.servesites.push_back(site);
+  oc::Driver driver(std::move(spec), "spec.toml");
+  // The function exists but no longer serves a stale view.
+  driver.add_file("src/dos/overlay.cpp",
+                  "void advance_round() {\n  int x = 0;\n  (void)x;\n}\n");
+  const auto result = driver.run();
+  const auto lines = lines_of(result, "RNO610");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 7u);
+}
+
+TEST(Oraclecheck, RNO610FlagsBrokenRetentionPin) {
+  oc::Spec spec = surface_spec();
+  spec.entrypoints.clear();
+  spec.snapshot_line = 42;
+  oc::Driver driver(std::move(spec), "spec.toml");
+  // The buffer no longer declares the horizon method: capacity-only
+  // eviction can starve t-late views.
+  driver.add_file("src/sim/snapshot.hpp",
+                  "class SnapshotBuffer {\n public:\n  void push();\n};\n");
+  const auto result = driver.run();
+  const auto lines = lines_of(result, "RNO610");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 42u);
+}
+
+TEST(Oraclecheck, PartialRunsSkipDriftChecks) {
+  oc::Driver driver(surface_spec(), "spec.toml");
+  driver.set_partial(true);
+  driver.add_file("src/adversary/other.hpp", "class Unrelated {};\n");
+  const auto result = driver.run();
+  EXPECT_TRUE(lines_of(result, "RNO610").empty());
+}
+
+}  // namespace

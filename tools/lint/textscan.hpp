@@ -1,9 +1,9 @@
 // Shared source-scanning machinery for the reconfnet static checkers
 // (reconfnet_lint in tools/lint/, reconfnet_protocheck in tools/protocheck/,
 // reconfnet_hotcheck in tools/hotcheck/, reconfnet_racecheck in
-// tools/racecheck/).
+// tools/racecheck/, reconfnet_oraclecheck in tools/oraclecheck/).
 //
-// Both tools are deliberately zero-dependency: they tokenise and light-parse
+// The tools are deliberately zero-dependency: they tokenise and light-parse
 // the sources themselves (no libclang), so they build and run on the
 // gcc-only dev container and in CI alike, and both can be bootstrap-compiled
 // from a handful of files with no build tree configured. Everything that is
@@ -230,9 +230,10 @@ bool parse_string_array(const std::string& value,
 // Standard informational CLI flags
 
 /// Version stamp shared by the reconfnet checkers (reconfnet_lint,
-/// reconfnet_protocheck, reconfnet_hotcheck, reconfnet_racecheck); bumped
-/// when a rule set or the shared scanning layer changes shape.
-inline constexpr const char* kToolsVersion = "1.2.0";
+/// reconfnet_protocheck, reconfnet_hotcheck, reconfnet_racecheck,
+/// reconfnet_oraclecheck); bumped when a rule set or the shared scanning
+/// layer changes shape.
+inline constexpr const char* kToolsVersion = "1.3.0";
 
 /// One rule id plus its one-line summary — the unit of --list-rules output
 /// and of each tool's static rule catalogue.

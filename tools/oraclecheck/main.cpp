@@ -1,0 +1,191 @@
+// reconfnet_oraclecheck CLI. See oraclecheck.hpp for the rule catalogue.
+//
+// Usage:
+//   reconfnet_oraclecheck [--root DIR] [--spec FILE] [--sarif FILE]
+//                         [--stale-suppressions] [file...]
+//
+//   --root DIR    repository root (default: current directory). All paths
+//                 are interpreted and reported relative to it.
+//   --spec FILE   adversary information-flow spec (default:
+//                 ROOT/tools/oraclecheck/oracle.toml)
+//   --sarif FILE  also write the findings as SARIF 2.1.0 (for the CI
+//                 code-scanning upload); does not change the exit status
+//   --stale-suppressions
+//                 report only inline allow() comments whose rule no longer
+//                 fires on the line they cover; always exits 0 (a
+//                 housekeeping report, not a gate)
+//   file...       check exactly these files instead of walking the spec's
+//                 roots; partial runs skip the spec-drift checks (fixture
+//                 files under tests/oraclecheck_fixtures/ are only
+//                 reachable this way)
+//
+// Exit status: 0 clean, 1 findings, 2 usage/configuration error.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "oraclecheck.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+bool checkable_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+std::string repo_relative(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path canonical = fs::weakly_canonical(path, ec);
+  const fs::path canonical_root = fs::weakly_canonical(root, ec);
+  const fs::path rel = canonical.lexically_relative(canonical_root);
+  return rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path spec_path;
+  fs::path sarif_path;
+  bool stale_mode = false;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "reconfnet_oraclecheck: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = next("--root");
+    } else if (arg == "--spec") {
+      spec_path = next("--spec");
+    } else if (arg == "--sarif") {
+      sarif_path = next("--sarif");
+    } else if (arg == "--stale-suppressions") {
+      stale_mode = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: reconfnet_oraclecheck [--root DIR] [--spec FILE] "
+                   "[--sarif FILE] [--stale-suppressions] [--version] "
+                   "[--list-rules] [file...]\n";
+      return 0;
+    } else if (reconfnet::textscan::handle_standard_flag(
+                   arg, "reconfnet_oraclecheck",
+                   reconfnet::oraclecheck::rules(), std::cout)) {
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "reconfnet_oraclecheck: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+  if (spec_path.empty()) spec_path = root / "tools/oraclecheck/oracle.toml";
+
+  std::string spec_text;
+  if (!read_file(spec_path, spec_text)) {
+    std::cerr << "reconfnet_oraclecheck: cannot read spec " << spec_path
+              << "\n";
+    return 2;
+  }
+  reconfnet::oraclecheck::Spec spec;
+  std::string error;
+  if (!reconfnet::oraclecheck::parse_spec(spec_text, spec, error)) {
+    std::cerr << "reconfnet_oraclecheck: bad spec: " << error << "\n";
+    return 2;
+  }
+
+  std::set<std::string> paths;
+  if (explicit_files.empty()) {
+    for (const std::string& prefix : spec.roots) {
+      const fs::path base = root / prefix;
+      if (!fs::exists(base)) continue;
+      for (auto it = fs::recursive_directory_iterator(base);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file() || !checkable_extension(it->path()))
+          continue;
+        const std::string rel = repo_relative(it->path(), root);
+        if (rel.find("_fixtures") != std::string::npos) continue;
+        paths.insert(rel);
+      }
+    }
+  } else {
+    for (const std::string& file : explicit_files) {
+      const fs::path p = fs::path(file).is_absolute() ? fs::path(file)
+                                                      : root / file;
+      if (!fs::exists(p)) {
+        std::cerr << "reconfnet_oraclecheck: no such file: " << file << "\n";
+        return 2;
+      }
+      paths.insert(repo_relative(p, root));
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "reconfnet_oraclecheck: no input files\n";
+    return 2;
+  }
+
+  reconfnet::oraclecheck::Driver driver(std::move(spec),
+                                        repo_relative(spec_path, root));
+  driver.set_partial(!explicit_files.empty());
+  for (const std::string& rel : paths) {
+    std::string content;
+    if (!read_file(root / rel, content)) {
+      std::cerr << "reconfnet_oraclecheck: cannot read " << rel << "\n";
+      return 2;
+    }
+    driver.add_file(rel, content);
+  }
+
+  const auto result = driver.run();
+  if (stale_mode) {
+    for (const auto& stale : result.stale) {
+      std::cout << stale.file << ":" << stale.line << ": stale suppression "
+                << "allow(" << stale.rule << ") — the rule no longer fires "
+                << "on the line it covers\n";
+    }
+    std::cerr << "reconfnet_oraclecheck: " << result.stale.size()
+              << " stale suppressions\n";
+    return 0;
+  }
+  for (const reconfnet::oraclecheck::Finding& finding : result.findings) {
+    std::cout << finding.file << ":" << finding.line << ": " << finding.rule
+              << " " << finding.message << "\n";
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream sarif(sarif_path, std::ios::binary);
+    if (!sarif) {
+      std::cerr << "reconfnet_oraclecheck: cannot write " << sarif_path
+                << "\n";
+      return 2;
+    }
+    reconfnet::textscan::write_sarif(sarif, "reconfnet_oraclecheck",
+                                     "tools/oraclecheck/oraclecheck.hpp",
+                                     result.findings,
+                                     result.suppressed_findings);
+  }
+  std::cerr << "reconfnet_oraclecheck: " << result.files_checked << " files, "
+            << result.adversary_files << " adversary files, "
+            << result.servesites_checked << " serve sites, "
+            << result.findings.size() << " findings (" << result.suppressed
+            << " suppressed)\n";
+  return result.findings.empty() ? 0 : 1;
+}

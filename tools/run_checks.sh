@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Umbrella driver for the four reconfnet checkers: reconfnet_lint
+# Umbrella driver for the five reconfnet checkers: reconfnet_lint
 # (determinism + layering + hygiene), reconfnet_protocheck (protocol
-# conformance), reconfnet_hotcheck (hot-path allocations + copies) and
-# reconfnet_racecheck (concurrency safety + determinism under parallelism).
-# Runs each gate, prints one summary table, and exits non-zero if any gate
-# found something. Per-tool logs and SARIF files land in one directory so CI
-# uploads a single artifact; the merged SARIF combines all four runs into
+# conformance), reconfnet_hotcheck (hot-path allocations + copies),
+# reconfnet_racecheck (concurrency safety + determinism under parallelism)
+# and reconfnet_oraclecheck (t-late adversary information flow). Runs each
+# gate, prints one summary table, and exits non-zero if any gate found
+# something. Per-tool logs and SARIF files land in one directory so CI
+# uploads a single artifact; the merged SARIF combines all five runs into
 # one SARIF 2.1.0 log.
 #
 # Usage:
@@ -18,7 +19,7 @@
 # Environment:
 #   CHECKS_DIR    directory for the per-tool logs and SARIF files
 #                 (default: build/checks)
-#   CHECKS_SARIF  also write a merged SARIF 2.1.0 log with all four runs
+#   CHECKS_SARIF  also write a merged SARIF 2.1.0 log with all five runs
 #                 (needs python3; for the CI code-scanning upload)
 #   CHECKS_STALE  "1": append each tool's --stale-suppressions report after
 #                 the table (advisory; never affects the exit status)
@@ -38,6 +39,7 @@ checkers=(
   "protocheck PROTOCHECK"
   "hotcheck HOTCHECK"
   "racecheck RACECHECK"
+  "oraclecheck ORACLECHECK"
 )
 
 overall=0

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Run reconfnet_oraclecheck (tools/oraclecheck/) — the t-late adversary
+# information-flow gate — and fail non-zero on any unsuppressed finding. The
+# checker reads the adversary oracle inventory from
+# tools/oraclecheck/oracle.toml and flags adversary code off its permitted
+# read surface, snapshot-machinery reach, protocol code reading adversary
+# internals, staleness-arithmetic drift at the harness serve sites, inline
+# adversary RNG seeds, shared-global covert channels, and spec drift
+# (DESIGN.md §14). The dynamic half — the access-audited
+# sim::StaleSnapshotView re-asserting now - snapshot.round >= t on every
+# read under RECONFNET_ORACLEAUDIT — lives in src/sim/stale_view.hpp and
+# src/audit/. Like run_lint.sh it is zero-dependency: with no build tree it
+# is bootstrap-compiled on the spot via tools/bootstrap_tool.sh.
+#
+# Usage:
+#   tools/run_oraclecheck.sh [build-dir] [file...]
+#
+#   build-dir  build tree to take the reconfnet_oraclecheck binary from
+#              (default: first existing of build/default, build, build/tidy;
+#              bootstrap-compiled when none is configured)
+#   file...    restrict the run to these sources (partial mode: whole-spec
+#              rules such as the entrypoint drift check are skipped)
+#
+# Environment:
+#   ORACLECHECK_LOG    also write the findings to this file (CI uploads it
+#                      as an artifact); written even when the run is clean.
+#   ORACLECHECK_SARIF  also write a SARIF 2.1.0 log to this file (for the
+#                      CI code-scanning upload).
+#   CXX                compiler for the bootstrap build (default: c++)
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+build_dir="${1:-}"
+if [[ $# -gt 0 ]]; then
+  shift
+fi
+if [[ -z "${build_dir}" ]]; then
+  for candidate in build/default build build/tidy; do
+    if [[ -f "${candidate}/CMakeCache.txt" ]]; then
+      build_dir="${candidate}"
+      break
+    fi
+  done
+fi
+
+check_bin="$(tools/bootstrap_tool.sh reconfnet_oraclecheck tools/oraclecheck \
+  "${build_dir}" \
+  tools/lint/textscan.hpp tools/lint/textscan.cpp \
+  tools/oraclecheck/oraclecheck.hpp tools/oraclecheck/oraclecheck.cpp \
+  tools/oraclecheck/main.cpp)"
+
+echo "reconfnet_oraclecheck $("${check_bin}" --version | awk '{print $2}'): \
+$("${check_bin}" --list-rules | wc -l) rules active" >&2
+
+declare -a args=(--root . --spec tools/oraclecheck/oracle.toml)
+if [[ -n "${ORACLECHECK_SARIF:-}" ]]; then
+  args+=(--sarif "${ORACLECHECK_SARIF}")
+fi
+if [[ $# -gt 0 ]]; then
+  args+=("$@")
+fi
+
+status=0
+if [[ -n "${ORACLECHECK_LOG:-}" ]]; then
+  "${check_bin}" "${args[@]}" 2>&1 | tee "${ORACLECHECK_LOG}" || status=$?
+else
+  "${check_bin}" "${args[@]}" || status=$?
+fi
+exit "${status}"
