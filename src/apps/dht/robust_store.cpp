@@ -13,6 +13,10 @@ std::uint64_t RobustStore::hash_key(Key key) {
   return support::splitmix64(state);
 }
 
+std::uint64_t RobustStore::hypercube_home(Key key, int dimension) {
+  return hash_key(key) & ((std::uint64_t{1} << dimension) - 1);
+}
+
 std::uint64_t RobustStore::home_supernode(Key key) const {
   return overlay_->supernode_of_key(hash_key(key));
 }

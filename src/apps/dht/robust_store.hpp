@@ -90,6 +90,11 @@ class RobustStore {
   /// Mixes a raw key into the placement hash space.
   static std::uint64_t hash_key(Key key);
 
+  /// Home supernode of `key` on a plain d-dimensional hypercube (the
+  /// Section 5 topology the transport layer deploys, as opposed to this
+  /// store's k-ary overlay): the low `dimension` bits of the placement hash.
+  static std::uint64_t hypercube_home(Key key, int dimension);
+
   /// The overlay this store runs on.
   [[nodiscard]] const KaryGroupedOverlay& overlay() const {
     return *overlay_;

@@ -52,6 +52,10 @@ class ReliableChannel {
     sim::Round initial_timeout = kReliableInitialTimeoutRounds;
     sim::Round backoff_cap = kReliableBackoffCapRounds;
     int max_retries = 0;  ///< 0 = retry until acked
+    /// Wire width of the sequence number; sequence numbers wrap at 2^bits.
+    /// The default matches the pinned wire format; tests shrink it to force
+    /// the wraparound path without 2^32 sends.
+    std::uint64_t seq_bits = kReliableSeqBits;
   };
 
   struct Counters {
@@ -60,7 +64,27 @@ class ReliableChannel {
     std::uint64_t acks_sent = 0;
     std::uint64_t delivered = 0;
     std::uint64_t duplicates_suppressed = 0;
-    std::uint64_t abandoned = 0;  ///< pendings dropped at max_retries
+    std::uint64_t abandoned = 0;   ///< pendings dropped before an ack came
+    std::uint64_t resets = 0;      ///< explicit reset() calls
+    std::uint64_t seq_wraps = 0;   ///< sequence space exhaustions survived
+  };
+
+  /// Why a queued send was given up on. Every abandonment is surfaced as a
+  /// typed record (take_abandoned()), never just a counter bump.
+  enum class AbandonReason {
+    kRetryBudget,  ///< max_retries spent without an ack
+    kReset,        ///< caller reset the channel with sends in flight
+    kSeqWrap,      ///< sequence space wrapped; a stale era cannot be acked
+  };
+
+  /// One send the channel stopped retrying, with enough context for the
+  /// caller to re-issue or escalate.
+  struct AbandonedSend {
+    sim::NodeId from = sim::kNoNode;
+    sim::NodeId to = sim::kNoNode;
+    std::uint64_t seq = 0;
+    int retries = 0;
+    AbandonReason reason = AbandonReason::kRetryBudget;
   };
 
  private:
@@ -87,6 +111,18 @@ class ReliableChannel {
   std::vector<audit::DeliveryRecord> delivery_log_;
   std::uint64_t next_seq_ = 0;
   Counters counters_;
+  std::vector<AbandonedSend> abandoned_log_;
+
+  [[nodiscard]] std::uint64_t seq_mask() const {
+    return config_.seq_bits >= 64 ? ~0ull : (1ull << config_.seq_bits) - 1;
+  }
+
+  /// Drops one in-flight send, recording the typed reason.
+  void abandon(const Pending& entry, AbandonReason reason) {
+    abandoned_log_.push_back(
+        {entry.from, entry.to, entry.wire.seq, entry.retries, reason});
+    ++counters_.abandoned;
+  }
 
  public:
   explicit ReliableChannel(sim::WorkMeter* meter = nullptr,
@@ -101,6 +137,21 @@ class ReliableChannel {
   void send(sim::NodeId from, sim::NodeId to, Payload payload,
             std::uint64_t payload_bits) {
     const std::uint64_t data_bits = payload_bits + kReliableHeaderBits;
+    if (next_seq_ > seq_mask()) {
+      // Sequence space exhausted: start a fresh dedup era. Anything still
+      // unacked is from 2^seq_bits sends ago — surface it as a typed
+      // abandonment rather than risk its stale ack cancelling a reused
+      // sequence number, and clear the dedup state so reused numbers are
+      // not misread as duplicates.
+      ++counters_.seq_wraps;
+      for (auto& [seq, entry] : pending_) {
+        abandon(entry, AbandonReason::kSeqWrap);
+      }
+      pending_.clear();
+      accepted_.clear();
+      delivery_log_.clear();
+      next_seq_ = 0;
+    }
     ReliableMsg wire;
     wire.seq = next_seq_++;
     wire.payload = std::move(payload);
@@ -148,11 +199,11 @@ class ReliableChannel {
   /// out of retries, then steps the underlying bus.
   void step(const sim::BlockedSet& blocked_sending,
             const sim::BlockedSet& blocked_delivery) {
-    std::vector<std::uint64_t> abandoned;
+    std::vector<std::uint64_t> expired;
     for (auto& [seq, entry] : pending_) {
       if (entry.next_retry > bus_.round()) continue;
       if (config_.max_retries > 0 && entry.retries >= config_.max_retries) {
-        abandoned.push_back(seq);
+        expired.push_back(seq);
         continue;
       }
       ++entry.retries;
@@ -161,9 +212,10 @@ class ReliableChannel {
       entry.next_retry = bus_.round() + entry.timeout;
       bus_.send(entry.from, entry.to, entry.wire, entry.bits);
     }
-    for (const std::uint64_t seq : abandoned) {
-      pending_.erase(seq);
-      ++counters_.abandoned;
+    for (const std::uint64_t seq : expired) {
+      const auto it = pending_.find(seq);
+      abandon(it->second, AbandonReason::kRetryBudget);
+      pending_.erase(it);
     }
     if (audit::enabled()) {
       audit::enforce(audit::check_at_most_once(delivery_log_));
@@ -175,6 +227,26 @@ class ReliableChannel {
   void step() {
     static const sim::BlockedSet kNone;
     step(kNone, kNone);
+  }
+
+  /// Flushes every in-flight send — each surfaced as a typed kReset
+  /// abandonment — without disturbing the sequence counter: numbering stays
+  /// monotone across the reset, so an ack still crossing the bus for a
+  /// pre-reset send can never cancel a post-reset one (stale-ack immunity;
+  /// regression-tested in tests/fault_test.cpp).
+  void reset() {
+    ++counters_.resets;
+    for (auto& [seq, entry] : pending_) {
+      abandon(entry, AbandonReason::kReset);
+    }
+    pending_.clear();
+  }
+
+  /// Typed abandonment records accumulated since the last call, oldest
+  /// first. Draining them is how callers learn WHICH sends were given up,
+  /// not just how many.
+  [[nodiscard]] std::vector<AbandonedSend> take_abandoned() {
+    return std::exchange(abandoned_log_, {});
   }
 
   /// In-flight messages still awaiting an ack.

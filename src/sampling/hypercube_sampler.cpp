@@ -112,6 +112,15 @@ const std::vector<std::uint64_t>& HypercubeSamplerCore::block(int j) const {
   return blocks_.at(static_cast<std::size_t>(j - 1));
 }
 
+void HypercubeSamplerCore::restore_blocks(
+    std::vector<std::vector<std::uint64_t>> blocks) {
+  if (blocks.size() != static_cast<std::size_t>(dimension_)) {
+    throw std::invalid_argument(
+        "HypercubeSamplerCore::restore_blocks: wrong block count");
+  }
+  blocks_ = std::move(blocks);
+}
+
 int HypercubeSamplerCore::window_width(int j, int iterations_done) const {
   const int nominal = 1 << iterations_done;
   return std::min(nominal, dimension_ - j + 1);

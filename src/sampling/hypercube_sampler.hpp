@@ -76,6 +76,14 @@ class HypercubeSamplerCore {
   /// Block contents, for invariant checks (Lemma 8). j is 1-indexed.
   [[nodiscard]] const std::vector<std::uint64_t>& block(int j) const;
 
+  /// Replaces every block wholesale: `blocks[j-1]` becomes M_j. This is the
+  /// deserialization path of the transport layer (src/transport/), which
+  /// ships replicated snapshots as raw block contents and reconstructs the
+  /// core from (dimension, self, schedule) on the receiving side. Requires
+  /// exactly dimension() entries. The dry/failed diagnostic counters are not
+  /// part of the replicated state and stay untouched.
+  void restore_blocks(std::vector<std::vector<std::uint64_t>> blocks);
+
   /// Width of the coordinate window [j, j + width) of block j after
   /// `iterations_done` completed iterations.
   [[nodiscard]] int window_width(int j, int iterations_done) const;

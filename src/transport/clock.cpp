@@ -1,0 +1,25 @@
+// The one sanctioned wall-clock site in src/ (see tools/lint/layers.toml
+// [allow] RNL003): everything else in the transport layer takes time as an
+// explicit now_us parameter.
+#include "transport/clock.hpp"
+
+#include <ctime>
+
+namespace reconfnet::transport {
+
+std::int64_t MonotonicClock::now_us() {
+  std::timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<std::int64_t>(ts.tv_nsec) / 1'000;
+}
+
+void sleep_us(std::int64_t us) {
+  if (us <= 0) return;
+  std::timespec ts{};
+  ts.tv_sec = us / 1'000'000;
+  ts.tv_nsec = (us % 1'000'000) * 1'000;
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace reconfnet::transport

@@ -1,0 +1,54 @@
+// Time source seam for the live transport (DESIGN.md §15).
+//
+// The determinism contract (RNL003) bans wall-clock reads in src/: every
+// result-producing computation must be a function of the seed. The live
+// transport genuinely needs time — round deadlines, retransmission timers —
+// so the clock is isolated behind this interface: MonotonicClock (the one
+// sanctioned wall-clock site, implemented in clock.cpp and carved out in
+// tools/lint/layers.toml) feeds the real deployment, while FakeClock drives
+// every test and keeps the RoundPacer / ReliableLink state machines pure
+// functions of (inputs, now_us).
+#pragma once
+
+#include <cstdint>
+
+namespace reconfnet::transport {
+
+/// Microsecond monotonic time source. The origin is arbitrary; only
+/// differences are meaningful.
+class Clock {
+ public:
+  Clock() = default;
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
+  Clock(Clock&&) = delete;
+  Clock& operator=(Clock&&) = delete;
+  virtual ~Clock() = default;
+
+  [[nodiscard]] virtual std::int64_t now_us() = 0;
+};
+
+/// Deterministic clock for tests: time moves only when told to.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::int64_t start_us = 0) : now_(start_us) {}
+
+  [[nodiscard]] std::int64_t now_us() override { return now_; }
+  void advance_us(std::int64_t delta) { now_ += delta; }
+  void set_us(std::int64_t now) { now_ = now; }
+
+ private:
+  std::int64_t now_ = 0;
+};
+
+/// CLOCK_MONOTONIC-backed clock for the live deployment.
+class MonotonicClock final : public Clock {
+ public:
+  [[nodiscard]] std::int64_t now_us() override;
+};
+
+/// Sleeps the calling thread for at most `us` microseconds (live pacing
+/// between round deadlines; never called from deterministic code).
+void sleep_us(std::int64_t us);
+
+}  // namespace reconfnet::transport

@@ -1,0 +1,65 @@
+#include "transport/scenario.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace reconfnet::transport {
+namespace {
+
+std::vector<std::string> tokens(std::string_view spec) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : spec) {
+    if (c == ',' || c == '+') {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+    } else if (c != ' ') {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace
+
+fault::FaultPlan parse_plan(std::string_view spec, int nodes,
+                            int epoch_rounds) {
+  fault::FaultPlan plan;
+  for (const std::string& token : tokens(spec)) {
+    if (token == "none") continue;
+    if (token == "kill2") {
+      // Crash-stop two nodes from different thirds of the id space, early in
+      // epoch 1 (the deployment must reconfigure around them).
+      const auto third = static_cast<sim::NodeId>(nodes / 3);
+      plan.with_crash({third, epoch_rounds + 3, -1});
+      plan.with_crash({2 * third, epoch_rounds + 3, -1});
+    } else if (token == "partition1") {
+      // Id-threshold cut over early sampler rounds of epoch 0; heals well
+      // before the reorganization rounds so the epoch can still commit.
+      fault::PartitionEvent cut;
+      cut.start = 2;
+      cut.heal = 8;
+      cut.id_below = static_cast<sim::NodeId>(nodes / 2);
+      plan.with_partition(cut);
+    } else if (token == "loss5") {
+      plan.with_loss(0.05);
+    } else {
+      throw std::invalid_argument("unknown plan token: " + token);
+    }
+  }
+  return plan;
+}
+
+std::string canonical_plan_name(std::string_view spec) {
+  const auto parts = tokens(spec);
+  if (parts.empty()) return "none";
+  std::string out;
+  for (const std::string& token : parts) {
+    if (!out.empty()) out.push_back('+');
+    out += token;
+  }
+  return out;
+}
+
+}  // namespace reconfnet::transport

@@ -1,0 +1,42 @@
+// Named churn/DoS scenario plans for transport deployments (DESIGN.md §15).
+//
+// A deployment — in-process or live — is driven by a small vocabulary of
+// scripted plans, so the bench, the tests and tools/deploy_local.sh all mean
+// the same thing by "kill2,partition1". Every plan is pure in (nodes,
+// epoch_rounds): crash rounds and partition windows are fixed functions of
+// the deployment size and the first epoch's length, which every process
+// derives identically from the shared initial table. Only scripted crashes
+// and id-threshold partitions are used — the fault families whose schedules
+// both FaultInjector and PacketMangler evaluate without consuming a random
+// stream — so the same spec produces the same fault windows on every
+// backend and in every process.
+//
+// Vocabulary (combine with ',' or '+'):
+//   none        no faults
+//   kill2       crash-stop nodes n/3 and 2n/3 early in epoch 1
+//   partition1  id-threshold cut (below n/2) over sampler rounds [2, 8)
+//               of epoch 0, healing well before the reorganization
+//   loss5       5% i.i.d. datagram loss (live transport retransmits;
+//               in-process runs treat each loss as a permanent drop)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fault/plan.hpp"
+
+namespace reconfnet::transport {
+
+/// Parses a plan spec into a FaultPlan. `nodes` is the deployment size,
+/// `epoch_rounds` the length of one epoch-0 attempt (NodeProtocol::
+/// epoch_rounds() right after construction). Throws std::invalid_argument
+/// on an unknown token.
+[[nodiscard]] fault::FaultPlan parse_plan(std::string_view spec, int nodes,
+                                          int epoch_rounds);
+
+/// Canonical display form of a spec: tokens in input order joined by '+'
+/// ("kill2,partition1" -> "kill2+partition1", "" -> "none"). Used as the
+/// bench group label so in-process baselines and live harvests share keys.
+[[nodiscard]] std::string canonical_plan_name(std::string_view spec);
+
+}  // namespace reconfnet::transport

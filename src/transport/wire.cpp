@@ -1,0 +1,347 @@
+#include "transport/wire.hpp"
+
+#include <cstring>
+
+namespace reconfnet::transport {
+namespace {
+
+// --- primitive little-endian writers/readers --------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  std::uint8_t u8() { return take(1) ? bytes_[pos_ - 1] : 0; }
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    std::uint16_t v = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(
+          v | (static_cast<std::uint32_t>(bytes_[pos_ - 2 + i]) << (8 * i)));
+    }
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_ - 4 + i]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_ - 8 + i]) << (8 * i);
+    }
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+ private:
+  bool take(std::size_t count) {
+    if (!ok_ || bytes_.size() - pos_ < count) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += count;
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- kind-specific body sizes and codecs ------------------------------------
+
+std::size_t state_bytes(const SamplerState& state) {
+  std::size_t total = 4 + 1;  // seq + block count
+  for (const auto& block : state.blocks) total += 4 + block.size() * 8;
+  return total;
+}
+
+void write_state(Writer& w, const SamplerState& state) {
+  w.i32(state.seq);
+  w.u8(static_cast<std::uint8_t>(state.blocks.size()));
+  for (const auto& block : state.blocks) {
+    w.u32(static_cast<std::uint32_t>(block.size()));
+    for (const std::uint64_t v : block) w.u64(v);
+  }
+}
+
+bool read_state(Reader& r, SamplerState& state) {
+  state.seq = r.i32();
+  const std::size_t blocks = r.u8();
+  // Recycle outer and inner capacity: shrink without deallocating, grow on
+  // demand.
+  if (state.blocks.size() > blocks) state.blocks.resize(blocks);
+  while (state.blocks.size() < blocks) state.blocks.emplace_back();
+  for (auto& block : state.blocks) {
+    const std::size_t count = r.u32();
+    if (!r.ok() || count > r.remaining() / 8) return false;
+    block.clear();
+    block.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) block.push_back(r.u64());
+  }
+  return r.ok();
+}
+
+void write_super(Writer& w, const SuperMsg& super) {
+  w.u64(super.src);
+  w.u64(super.dest);
+  w.i32(super.seq);
+  w.u32(super.index);
+  w.u8(super.is_request ? 1 : 0);
+  w.u64(super.req_requester);
+  w.i32(super.req_j);
+  w.u64(super.resp_vertex);
+  w.i32(super.resp_j);
+  w.u8(super.resp_ok ? 1 : 0);
+}
+
+bool read_super(Reader& r, SuperMsg& super) {
+  super.src = r.u64();
+  super.dest = r.u64();
+  super.seq = r.i32();
+  super.index = r.u32();
+  super.is_request = r.u8() != 0;
+  super.req_requester = r.u64();
+  super.req_j = r.i32();
+  super.resp_vertex = r.u64();
+  super.resp_j = r.i32();
+  super.resp_ok = r.u8() != 0;
+  return r.ok();
+}
+
+void write_ids(Writer& w, const std::vector<sim::NodeId>& ids) {
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const sim::NodeId id : ids) w.u64(id);
+}
+
+bool read_ids(Reader& r, std::vector<sim::NodeId>& ids) {
+  const std::size_t count = r.u32();
+  if (!r.ok() || count > r.remaining() / 8) return false;
+  ids.clear();
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ids.push_back(r.u64());
+  return r.ok();
+}
+
+std::size_t body_bytes(const Message& msg) {
+  switch (msg.kind) {
+    case MsgKind::kHeartbeat:
+      return 8;  // epoch_start
+    case MsgKind::kCandidate: {
+      std::size_t total = 8 + state_bytes(msg.state) + 4;
+      total += msg.outbox.size() * kSuperMsgBytes;
+      return total;
+    }
+    case MsgKind::kStateBroadcast:
+      return 8 + state_bytes(msg.state);
+    case MsgKind::kSuper:
+      return kSuperMsgBytes;
+    case MsgKind::kAssign:
+      return 8 + 8;  // supernode + assigned
+    case MsgKind::kNewGroup:
+    case MsgKind::kNeighborGroup:
+      return 8 + 4 + msg.group.size() * 8;
+    case MsgKind::kTableFrag: {
+      std::size_t total = 4;
+      for (const auto& entry : msg.table) total += 8 + 4 + entry.members.size() * 8;
+      return total;
+    }
+    case MsgKind::kCommitVote:
+      return 8 + 1;  // supernode + complete bit
+    case MsgKind::kLookup:
+      return 8 + 8 + 8;  // key + origin + home supernode
+    case MsgKind::kLookupReply:
+      return 8 + 8;  // key + origin
+  }
+  return 0;
+}
+
+}  // namespace
+
+void Message::clear() {
+  kind = MsgKind::kHeartbeat;
+  round = 0;
+  epoch = 0;
+  attempt = 0;
+  epoch_start = 0;
+  supernode = 0;
+  state.seq = 0;
+  for (auto& block : state.blocks) block.clear();
+  state.blocks.clear();
+  outbox.clear();
+  super = SuperMsg{};
+  assigned = sim::kNoNode;
+  group.clear();
+  table.clear();
+  complete = false;
+  key = 0;
+  origin = sim::kNoNode;
+}
+
+std::size_t encoded_bytes(const Message& msg) {
+  return kFrameHeaderBytes + body_bytes(msg);
+}
+
+void encode(const Message& msg, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(encoded_bytes(msg));
+  Writer w(out);
+  w.u16(kWireMagic);
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(msg.kind));
+  w.i64(msg.round);
+  w.i64(msg.epoch);
+  w.i32(msg.attempt);
+  w.u32(static_cast<std::uint32_t>(body_bytes(msg)));
+  switch (msg.kind) {
+    case MsgKind::kHeartbeat:
+      w.i64(msg.epoch_start);
+      break;
+    case MsgKind::kCandidate:
+      w.u64(msg.supernode);
+      write_state(w, msg.state);
+      w.u32(static_cast<std::uint32_t>(msg.outbox.size()));
+      for (const auto& super : msg.outbox) write_super(w, super);
+      break;
+    case MsgKind::kStateBroadcast:
+      w.u64(msg.supernode);
+      write_state(w, msg.state);
+      break;
+    case MsgKind::kSuper:
+      write_super(w, msg.super);
+      break;
+    case MsgKind::kAssign:
+      w.u64(msg.supernode);
+      w.u64(msg.assigned);
+      break;
+    case MsgKind::kNewGroup:
+    case MsgKind::kNeighborGroup:
+      w.u64(msg.supernode);
+      write_ids(w, msg.group);
+      break;
+    case MsgKind::kTableFrag:
+      w.u32(static_cast<std::uint32_t>(msg.table.size()));
+      for (const auto& entry : msg.table) {
+        w.u64(entry.supernode);
+        write_ids(w, entry.members);
+      }
+      break;
+    case MsgKind::kCommitVote:
+      w.u64(msg.supernode);
+      w.u8(msg.complete ? 1 : 0);
+      break;
+    case MsgKind::kLookup:
+      w.u64(msg.key);
+      w.u64(msg.origin);
+      w.u64(msg.supernode);
+      break;
+    case MsgKind::kLookupReply:
+      w.u64(msg.key);
+      w.u64(msg.origin);
+      break;
+  }
+}
+
+bool decode(std::span<const std::uint8_t> bytes, Message& msg) {
+  msg.clear();
+  Reader r(bytes);
+  if (r.u16() != kWireMagic) return false;
+  if (r.u8() != kWireVersion) return false;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(MsgKind::kLookupReply)) return false;
+  msg.kind = static_cast<MsgKind>(kind);
+  msg.round = r.i64();
+  msg.epoch = r.i64();
+  msg.attempt = r.i32();
+  const std::size_t body = r.u32();
+  if (!r.ok() || body != r.remaining()) return false;
+  switch (msg.kind) {
+    case MsgKind::kHeartbeat:
+      msg.epoch_start = r.i64();
+      break;
+    case MsgKind::kCandidate: {
+      msg.supernode = r.u64();
+      if (!read_state(r, msg.state)) return false;
+      const std::size_t count = r.u32();
+      if (!r.ok() || count > r.remaining() / kSuperMsgBytes) return false;
+      msg.outbox.resize(count);
+      for (auto& super : msg.outbox) {
+        if (!read_super(r, super)) return false;
+      }
+      break;
+    }
+    case MsgKind::kStateBroadcast:
+      msg.supernode = r.u64();
+      if (!read_state(r, msg.state)) return false;
+      break;
+    case MsgKind::kSuper:
+      if (!read_super(r, msg.super)) return false;
+      break;
+    case MsgKind::kAssign:
+      msg.supernode = r.u64();
+      msg.assigned = r.u64();
+      break;
+    case MsgKind::kNewGroup:
+    case MsgKind::kNeighborGroup:
+      msg.supernode = r.u64();
+      if (!read_ids(r, msg.group)) return false;
+      break;
+    case MsgKind::kTableFrag: {
+      const std::size_t count = r.u32();
+      if (!r.ok() || count > r.remaining() / 12) return false;
+      msg.table.resize(count);
+      for (auto& entry : msg.table) {
+        entry.supernode = r.u64();
+        if (!read_ids(r, entry.members)) return false;
+      }
+      break;
+    }
+    case MsgKind::kCommitVote:
+      msg.supernode = r.u64();
+      msg.complete = r.u8() != 0;
+      break;
+    case MsgKind::kLookup:
+      msg.key = r.u64();
+      msg.origin = r.u64();
+      msg.supernode = r.u64();
+      break;
+    case MsgKind::kLookupReply:
+      msg.key = r.u64();
+      msg.origin = r.u64();
+      break;
+  }
+  return r.ok() && r.remaining() == 0;
+}
+
+}  // namespace reconfnet::transport

@@ -364,6 +364,90 @@ TEST(ReliableChannel, AbandonsAfterMaxRetries) {
   EXPECT_EQ(channel.pending_count(), 0u);
 }
 
+TEST(ReliableChannel, SeqWraparoundStartsAFreshDedupEra) {
+  FaultPlan plan;  // lossless: every send is delivered and acked promptly
+  FaultInjector injector(plan, support::Rng(81));
+  ReliableChannel<Probe>::Config config;
+  config.seq_bits = 3;  // wrap after 8 sends instead of 2^32
+  ReliableChannel<Probe> channel(nullptr, &injector, config);
+
+  // Two full eras plus one: every message must be delivered exactly once —
+  // reused sequence numbers from a previous era must not be suppressed as
+  // duplicates.
+  const int count = 17;
+  std::size_t delivered = 0;
+  for (int i = 0; i < count; ++i) {
+    channel.send(0, 1, Probe{i}, 8);
+    for (int r = 0; r < 4; ++r) {
+      channel.step();
+      delivered += channel.receive(1).size();
+      channel.receive(0);  // consume acks
+    }
+  }
+  EXPECT_EQ(delivered, static_cast<std::size_t>(count));
+  EXPECT_EQ(channel.counters().seq_wraps, 2u);
+  EXPECT_EQ(channel.counters().duplicates_suppressed, 0u);
+  EXPECT_EQ(channel.pending_count(), 0u);
+  EXPECT_TRUE(channel.take_abandoned().empty());  // all were acked in time
+}
+
+TEST(ReliableChannel, StaleAckAfterResetCannotCancelFreshSend) {
+  FaultPlan plan;
+  FaultInjector injector(plan, support::Rng(91));
+  ReliableChannel<Probe> channel(nullptr, &injector);
+
+  // Send A; let the receiver ack it, but reset the channel BEFORE the
+  // sender consumes that ack. The ack (for seq 0) is now stale in flight.
+  channel.send(0, 1, Probe{1}, 8);
+  channel.step();
+  ASSERT_EQ(channel.receive(1).size(), 1u);  // receiver acks seq 0
+  channel.reset();
+  ASSERT_EQ(channel.pending_count(), 0u);
+
+  // Send B. Sequence numbering stayed monotone across the reset, so B got
+  // seq 1 and the stale ack for seq 0 must leave it pending.
+  channel.send(0, 1, Probe{2}, 8);
+  channel.step();  // delivers the stale ack alongside B
+  channel.receive(0);
+  EXPECT_EQ(channel.pending_count(), 1u) << "stale ack cancelled a fresh send";
+  EXPECT_EQ(channel.receive(1).size(), 1u);  // B still arrives
+  channel.step();
+  channel.receive(0);  // B's own ack clears it
+  EXPECT_EQ(channel.pending_count(), 0u);
+
+  // The reset surfaced A as a typed abandonment.
+  const auto abandoned = channel.take_abandoned();
+  ASSERT_EQ(abandoned.size(), 1u);
+  EXPECT_EQ(abandoned[0].seq, 0u);
+  EXPECT_EQ(abandoned[0].from, 0);
+  EXPECT_EQ(abandoned[0].to, 1);
+  EXPECT_EQ(abandoned[0].reason,
+            ReliableChannel<Probe>::AbandonReason::kReset);
+  EXPECT_EQ(channel.counters().resets, 1u);
+}
+
+TEST(ReliableChannel, RetryBudgetExhaustionSurfacesTypedError) {
+  FaultPlan plan;
+  plan.with_loss(1.0);  // nothing ever arrives
+  FaultInjector injector(plan, support::Rng(101));
+  ReliableChannel<Probe>::Config config;
+  config.max_retries = 3;
+  ReliableChannel<Probe> channel(nullptr, &injector, config);
+  channel.send(2, 5, Probe{7}, 8);
+  for (int i = 0; i < 40; ++i) channel.step();
+  ASSERT_EQ(channel.pending_count(), 0u);
+
+  const auto abandoned = channel.take_abandoned();
+  ASSERT_EQ(abandoned.size(), 1u);
+  EXPECT_EQ(abandoned[0].from, 2);
+  EXPECT_EQ(abandoned[0].to, 5);
+  EXPECT_EQ(abandoned[0].retries, 3);
+  EXPECT_EQ(abandoned[0].reason,
+            ReliableChannel<Probe>::AbandonReason::kRetryBudget);
+  // Draining is destructive: the records are handed over exactly once.
+  EXPECT_TRUE(channel.take_abandoned().empty());
+}
+
 TEST(ReliableChannel, RecoversAfterPartitionHeals) {
   FaultPlan plan;
   plan.with_partition({0, 6, 1, 0});  // ticks 0..5, side A = {0}

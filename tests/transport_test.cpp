@@ -1,0 +1,541 @@
+// Transport backend coverage (DESIGN.md §15): wire codec round-trips, the
+// reliable link's delivery/dedup/abandon machinery, fault-plan mangler
+// determinism, scenario parsing, and — the heart of the tentpole — the
+// in-process deployment of the per-node protocol: bit-exact parity with
+// dos::run_node_level_epoch when fault-free, and graceful convergence (or
+// bounded degradation, never a wedge) under scripted kills, partitions and
+// restarts. A threaded live-UDP smoke run closes the loop on real sockets.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "dos/group_table.hpp"
+#include "dos/node_sim.hpp"
+#include "support/rng.hpp"
+#include "transport/clock.hpp"
+#include "transport/inproc.hpp"
+#include "transport/live_runtime.hpp"
+#include "transport/mangler.hpp"
+#include "transport/reliable_link.hpp"
+#include "transport/scenario.hpp"
+#include "transport/udp.hpp"
+#include "transport/wire.hpp"
+
+namespace reconfnet::transport {
+namespace {
+
+// --- wire codec -------------------------------------------------------------
+
+Message sample_candidate() {
+  Message msg;
+  msg.kind = MsgKind::kCandidate;
+  msg.round = 17;
+  msg.epoch = 2;
+  msg.attempt = 1;
+  msg.supernode = 5;
+  msg.state.seq = 9;
+  msg.state.blocks = {{1, 2, 3}, {}, {42}};
+  SuperMsg super;
+  super.src = 5;
+  super.dest = 4;
+  super.seq = 9;
+  super.index = 7;
+  super.is_request = true;
+  super.req_requester = 11;
+  super.req_j = 2;
+  msg.outbox.push_back(super);
+  return msg;
+}
+
+TEST(Wire, RoundTripsEveryField) {
+  const Message msg = sample_candidate();
+  std::vector<std::uint8_t> bytes;
+  encode(msg, bytes);
+  EXPECT_EQ(bytes.size(), encoded_bytes(msg));
+
+  Message back;
+  ASSERT_TRUE(decode(bytes, back));
+  EXPECT_EQ(back.kind, msg.kind);
+  EXPECT_EQ(back.round, msg.round);
+  EXPECT_EQ(back.epoch, msg.epoch);
+  EXPECT_EQ(back.attempt, msg.attempt);
+  EXPECT_EQ(back.supernode, msg.supernode);
+  EXPECT_EQ(back.state.seq, msg.state.seq);
+  EXPECT_EQ(back.state.blocks, msg.state.blocks);
+  ASSERT_EQ(back.outbox.size(), 1u);
+  EXPECT_EQ(back.outbox[0].dest, 4u);
+  EXPECT_TRUE(back.outbox[0].is_request);
+}
+
+TEST(Wire, RoundTripsTableAndLookupFrames) {
+  Message msg;
+  msg.kind = MsgKind::kTableFrag;
+  msg.round = 3;
+  msg.table.push_back(TableEntry{1, {4, 5, 6}});
+  msg.table.push_back(TableEntry{2, {7}});
+  std::vector<std::uint8_t> bytes;
+  encode(msg, bytes);
+  Message back;
+  ASSERT_TRUE(decode(bytes, back));
+  ASSERT_EQ(back.table.size(), 2u);
+  EXPECT_EQ(back.table[0].members, (std::vector<sim::NodeId>{4, 5, 6}));
+  EXPECT_EQ(back.table[1].supernode, 2u);
+
+  Message lookup;
+  lookup.kind = MsgKind::kLookup;
+  lookup.key = 0xDEADBEEFull;
+  lookup.origin = 12;
+  lookup.supernode = 6;
+  encode(lookup, bytes);
+  ASSERT_TRUE(decode(bytes, back));
+  EXPECT_EQ(back.key, 0xDEADBEEFull);
+  EXPECT_EQ(back.origin, 12u);
+  EXPECT_EQ(back.supernode, 6u);
+}
+
+TEST(Wire, RejectsCorruptedFrames) {
+  const Message msg = sample_candidate();
+  std::vector<std::uint8_t> bytes;
+  encode(msg, bytes);
+  Message back;
+
+  auto corrupt = bytes;
+  corrupt[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(decode(corrupt, back));
+
+  corrupt = bytes;
+  corrupt[2] = kWireVersion + 1;
+  EXPECT_FALSE(decode(corrupt, back));
+
+  corrupt = bytes;
+  corrupt.resize(corrupt.size() - 1);  // truncated body
+  EXPECT_FALSE(decode(corrupt, back));
+
+  corrupt = bytes;
+  corrupt.push_back(0);  // trailing garbage
+  EXPECT_FALSE(decode(corrupt, back));
+
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>{}, back));
+}
+
+// --- link layer -------------------------------------------------------------
+
+TEST(Link, HeaderRoundTripAndValidation) {
+  LinkHeader header;
+  header.op = LinkOp::kReliable;
+  header.from = 42;
+  header.incarnation = 3;
+  header.seq = 77;
+  std::uint8_t buffer[kLinkHeaderBytes];
+  encode_link_header(header, buffer);
+
+  LinkHeader back;
+  ASSERT_TRUE(decode_link_header(buffer, back));
+  EXPECT_EQ(back.op, LinkOp::kReliable);
+  EXPECT_EQ(back.from, 42u);
+  EXPECT_EQ(back.incarnation, 3u);
+  EXPECT_EQ(back.seq, 77u);
+
+  buffer[0] ^= 0xFF;
+  EXPECT_FALSE(decode_link_header(buffer, back));
+  encode_link_header(header, buffer);
+  buffer[3] = 9;  // op out of range
+  EXPECT_FALSE(decode_link_header(buffer, back));
+}
+
+TEST(Link, RetransmitsUntilAckedWithBackoff) {
+  LinkConfig config;
+  config.initial_timeout_us = 100;
+  config.backoff_cap_us = 400;
+  config.max_retries = 10;
+  ReliableLink link(config, /*self=*/0, /*incarnation=*/0);
+
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  const std::uint32_t seq = link.stage(payload, 0, /*tag=*/5);
+  std::vector<std::int64_t> tags;
+  int sends = 0;
+  const auto count = [&](std::span<const std::uint8_t> bytes,
+                         std::uint32_t, std::int64_t tag) {
+    ++sends;
+    tags.push_back(tag);
+    EXPECT_EQ(bytes.size(), kLinkHeaderBytes + payload.size());
+  };
+  link.for_due(0, count);    // first transmission
+  link.for_due(50, count);   // not due yet
+  link.for_due(100, count);  // 1st retransmit (timeout 100)
+  link.for_due(250, count);  // not due (backoff doubled to 200, due at 300)
+  link.for_due(300, count);  // 2nd retransmit
+  EXPECT_EQ(sends, 3);
+  EXPECT_EQ(tags, (std::vector<std::int64_t>{5, 5, 5}));
+  EXPECT_EQ(link.counters().retransmits, 2u);
+
+  link.on_ack(seq, 0);
+  EXPECT_EQ(link.pending(), 0u);
+  link.for_due(10'000, count);
+  EXPECT_EQ(sends, 3);
+  EXPECT_EQ(link.counters().acked, 1u);
+}
+
+TEST(Link, AbandonsAfterRetryBudget) {
+  LinkConfig config;
+  config.initial_timeout_us = 10;
+  config.max_retries = 3;
+  ReliableLink link(config, 0, 0);
+  link.stage(std::vector<std::uint8_t>{9}, 0);
+
+  int sends = 0;
+  const auto count = [&](std::span<const std::uint8_t>, std::uint32_t,
+                         std::int64_t) { ++sends; };
+  for (std::int64_t now = 0; now < 10'000; now += 10) link.for_due(now, count);
+  EXPECT_EQ(sends, 3);
+  EXPECT_EQ(link.counters().abandoned, 1u);
+  EXPECT_EQ(link.pending(), 0u);
+}
+
+TEST(Link, CancelStaleDropsOnlyOlderTags) {
+  ReliableLink link(LinkConfig{}, 0, 0);
+  link.stage(std::vector<std::uint8_t>{1}, 0, /*tag=*/4);
+  link.stage(std::vector<std::uint8_t>{2}, 0, /*tag=*/5);
+  link.stage(std::vector<std::uint8_t>{3}, 0, /*tag=*/6);
+  ASSERT_EQ(link.pending(), 3u);
+
+  // Advancing to round 6 gives up on everything sent before it — the live
+  // analog of the simulator dropping frames a dead round could not deliver.
+  EXPECT_EQ(link.cancel_stale(6), 2u);
+  EXPECT_EQ(link.pending(), 1u);
+  EXPECT_EQ(link.counters().canceled, 2u);
+
+  // The surviving frame still (re)transmits with its own tag.
+  std::vector<std::int64_t> tags;
+  link.for_due(0, [&](std::span<const std::uint8_t>, std::uint32_t,
+                      std::int64_t tag) { tags.push_back(tag); });
+  EXPECT_EQ(tags, (std::vector<std::int64_t>{6}));
+}
+
+TEST(Link, ReceiverDeduplicatesAndAcksEverything) {
+  ReliableLink link(LinkConfig{}, 0, 0);
+  EXPECT_TRUE(link.on_data(1, 0));
+  EXPECT_TRUE(link.on_data(3, 0));   // out of order
+  EXPECT_FALSE(link.on_data(1, 0));  // duplicate below/at floor
+  EXPECT_FALSE(link.on_data(3, 0));  // duplicate above floor
+  EXPECT_TRUE(link.on_data(2, 0));   // fills the gap, floor advances to 3
+  EXPECT_FALSE(link.on_data(2, 0));
+
+  std::vector<std::uint32_t> acks;
+  link.drain_acks([&](std::uint32_t seq) { acks.push_back(seq); });
+  EXPECT_EQ(acks, (std::vector<std::uint32_t>{1, 3, 1, 3, 2, 2}));
+  EXPECT_EQ(link.counters().delivered, 3u);
+  EXPECT_EQ(link.counters().duplicates, 3u);
+}
+
+TEST(Link, IncarnationBumpResetsDedupAndStaleAcksAreIgnored) {
+  ReliableLink link(LinkConfig{}, 0, /*incarnation=*/1);
+  EXPECT_TRUE(link.on_data(1, 0));
+  EXPECT_TRUE(link.on_data(2, 0));
+  // The peer restarted: its fresh life reuses low sequence numbers.
+  EXPECT_TRUE(link.on_data(1, 1));
+  EXPECT_EQ(link.peer_incarnation(), 1u);
+  // Data from the dead previous life is dropped without an ack.
+  EXPECT_FALSE(link.on_data(7, 0));
+  EXPECT_EQ(link.counters().stale_incarnation, 1u);
+
+  // Sender half: an ack addressed to OUR previous life must not consume the
+  // fresh sequence space.
+  const std::uint32_t seq = link.stage(std::vector<std::uint8_t>{1}, 0);
+  link.on_ack(seq, 0);  // stale incarnation (ours is 1)
+  EXPECT_EQ(link.pending(), 1u);
+  link.on_ack(seq, 1);
+  EXPECT_EQ(link.pending(), 0u);
+}
+
+// --- mangler + scenarios ----------------------------------------------------
+
+TEST(Mangler, CrashAndPartitionWindowsArePureAndScripted) {
+  fault::FaultPlan plan;
+  plan.with_crash({/*node=*/3, /*at=*/10, /*restart=*/20});
+  plan.with_crash({/*node=*/5, /*at=*/15, /*restart=*/-1});
+  fault::PartitionEvent cut;
+  cut.start = 4;
+  cut.heal = 8;
+  cut.id_below = 8;
+  plan.with_partition(cut);
+  PacketMangler mangler(plan, /*salt=*/1);
+
+  EXPECT_FALSE(mangler.is_crashed(3, 9));
+  EXPECT_TRUE(mangler.is_crashed(3, 10));
+  EXPECT_TRUE(mangler.is_crashed(3, 19));
+  EXPECT_FALSE(mangler.is_crashed(3, 20));  // restarted
+  EXPECT_TRUE(mangler.is_crashed(5, 1000)); // crash-stop: down forever
+
+  EXPECT_FALSE(mangler.partitioned(1, 9, 3));
+  EXPECT_TRUE(mangler.partitioned(1, 9, 4));
+  EXPECT_TRUE(mangler.partitioned(9, 1, 7));   // symmetric
+  EXPECT_FALSE(mangler.partitioned(1, 2, 5));  // same side
+  EXPECT_FALSE(mangler.partitioned(1, 9, 8));  // healed
+
+  // drop() composes the windows: sender crashed, receiver down next round,
+  // or the cut between them.
+  EXPECT_TRUE(mangler.drop(3, 1, 12, 0));   // sender down
+  EXPECT_TRUE(mangler.drop(1, 3, 9, 0));    // receiver down at delivery
+  EXPECT_TRUE(mangler.drop(1, 9, 5, 0));    // partitioned
+  EXPECT_FALSE(mangler.drop(1, 2, 5, 0));
+}
+
+TEST(Mangler, LossDrawsFreshCoinPerAttempt) {
+  fault::FaultPlan plan;
+  plan.with_loss(0.5);
+  PacketMangler mangler(plan, 7);
+  PacketMangler again(plan, 7);
+
+  int dropped = 0;
+  int disagreements = 0;
+  for (std::uint32_t attempt = 0; attempt < 64; ++attempt) {
+    const bool a = mangler.drop(1, 2, 5, attempt);
+    if (a) ++dropped;
+    if (a != again.drop(1, 2, 5, attempt)) ++disagreements;
+  }
+  EXPECT_EQ(disagreements, 0);  // pure in (endpoints, round, attempt)
+  EXPECT_GT(dropped, 8);        // p = 0.5: both outcomes well represented
+  EXPECT_LT(dropped, 56);
+}
+
+TEST(Scenario, ParsesPlansAndCanonicalizesNames) {
+  const auto plan = parse_plan("kill2,partition1", 64, 30);
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_EQ(plan.crashes[0].node, 21u);
+  EXPECT_EQ(plan.crashes[0].at, 33);
+  EXPECT_LT(plan.crashes[0].restart, 0);
+  EXPECT_EQ(plan.crashes[1].node, 42u);
+  ASSERT_EQ(plan.partitions.size(), 1u);
+  EXPECT_EQ(plan.partitions[0].id_below, 32u);
+
+  EXPECT_EQ(canonical_plan_name("kill2,partition1"), "kill2+partition1");
+  EXPECT_EQ(canonical_plan_name(""), "none");
+  EXPECT_EQ(canonical_plan_name("none"), "none");
+  EXPECT_TRUE(parse_plan("none", 64, 30).crashes.empty());
+  EXPECT_THROW((void)parse_plan("kill9", 64, 30), std::invalid_argument);
+}
+
+// --- in-process deployment --------------------------------------------------
+
+InprocDeploymentConfig small_deployment(int epochs, bool smoke) {
+  InprocDeploymentConfig config;
+  config.nodes = 64;
+  config.dimension = 3;
+  config.protocol.epochs = epochs;
+  config.protocol.dht_smoke = smoke;
+  return config;
+}
+
+TEST(InprocDeployment, FaultFreeRunMatchesNodeSimExactly) {
+  auto config = small_deployment(/*epochs=*/1, /*smoke=*/false);
+  InprocDeployment deployment(config);
+
+  // Ground truth: the monolithic node_sim epoch over the same initial table
+  // with the same seed (NodeProtocol replays its exact rng split order).
+  support::Rng rng(config.protocol.seed);
+  const auto report = dos::run_node_level_epoch(deployment.initial_table(),
+                                                {}, {}, rng);
+  ASSERT_TRUE(report.success) << report.failure_reason;
+  ASSERT_TRUE(report.new_groups.has_value());
+
+  const auto result = deployment.run();
+  EXPECT_TRUE(result.all_live_finished);
+  EXPECT_EQ(result.finished, config.nodes);
+
+  const dos::GroupTable& expected = *report.new_groups;
+  for (int id = 0; id < config.nodes; ++id) {
+    const dos::GroupTable& got =
+        deployment.node(static_cast<sim::NodeId>(id)).table();
+    ASSERT_EQ(got.supernodes(), expected.supernodes()) << "node " << id;
+    for (std::uint64_t x = 0; x < expected.supernodes(); ++x) {
+      EXPECT_EQ(got.group(x), expected.group(x))
+          << "node " << id << " group " << x;
+    }
+    EXPECT_EQ(deployment.node(static_cast<sim::NodeId>(id))
+                  .metrics()
+                  .epochs_completed,
+              1);
+  }
+}
+
+TEST(InprocDeployment, SurvivesKillsAndPartition) {
+  auto config = small_deployment(/*epochs=*/3, /*smoke=*/true);
+  {
+    InprocDeployment probe(config);
+    config.plan = parse_plan("kill2,partition1", config.nodes,
+                             probe.node(0).epoch_rounds());
+  }
+  InprocDeployment deployment(config);
+  const auto report = deployment.run();
+  EXPECT_TRUE(report.all_live_finished);
+  EXPECT_EQ(report.crashed_forever, 2);
+  EXPECT_EQ(report.finished, config.nodes - 2);
+
+  for (int id = 0; id < config.nodes; ++id) {
+    const auto node = static_cast<sim::NodeId>(id);
+    if (id == 21 || id == 42) continue;  // the kill2 victims
+    const auto& metrics = deployment.node(node).metrics();
+    EXPECT_EQ(metrics.epochs_completed, 3) << "node " << id;
+    EXPECT_TRUE(metrics.lookup_ok) << "node " << id;
+  }
+}
+
+TEST(InprocDeployment, WholeGroupKillAbortsEpochAndFallsBack) {
+  auto config = small_deployment(/*epochs=*/1, /*smoke=*/false);
+  config.protocol.max_attempts = 2;
+  // Kill every member of the initial group of supernode 0 before the epoch
+  // can finish: the survivors must abort (group silence / missing data),
+  // fall back to the previous configuration, exhaust the retry budget and
+  // still terminate cleanly.
+  InprocDeployment probe(config);
+  for (const sim::NodeId member : probe.initial_table().group(0)) {
+    config.plan.with_crash({member, /*at=*/2, /*restart=*/-1});
+  }
+  InprocDeployment deployment(config);
+  const auto report = deployment.run();
+  EXPECT_TRUE(report.all_live_finished);
+
+  const auto killed = static_cast<int>(config.plan.crashes.size());
+  EXPECT_EQ(report.crashed_forever, killed);
+  bool any_fallback = false;
+  for (int id = 0; id < config.nodes; ++id) {
+    const auto node = static_cast<sim::NodeId>(id);
+    bool is_victim = false;
+    for (const fault::CrashEvent& event : config.plan.crashes) {
+      if (event.node == node) is_victim = true;
+    }
+    if (is_victim) continue;
+    const auto& metrics = deployment.node(node).metrics();
+    EXPECT_TRUE(metrics.finished) << "node " << id;
+    EXPECT_EQ(metrics.epochs_completed, 0) << "node " << id;
+    EXPECT_EQ(metrics.epochs_failed, 1) << "node " << id;
+    if (metrics.fallbacks > 0) any_fallback = true;
+  }
+  EXPECT_TRUE(any_fallback);
+}
+
+TEST(InprocDeployment, CrashWithRestartRejoinsWithinTheEpoch) {
+  auto config = small_deployment(/*epochs=*/1, /*smoke=*/false);
+  // One node reboots early in the (long) sampler phase: it comes back with a
+  // fresh protocol instance, resyncs off the state broadcasts, and still
+  // completes the epoch with everyone else.
+  config.plan.with_crash({/*node=*/7, /*at=*/3, /*restart=*/9});
+  InprocDeployment deployment(config);
+  const auto report = deployment.run();
+  EXPECT_TRUE(report.all_live_finished);
+  EXPECT_EQ(report.finished, config.nodes);
+  EXPECT_EQ(deployment.node(7).metrics().epochs_completed, 1);
+  EXPECT_GT(deployment.node(7).metrics().resyncs, 0);
+}
+
+// --- live UDP smoke ---------------------------------------------------------
+
+TEST(LiveUdp, SixteenThreadedNodesConvergeAndMatchInproc) {
+  constexpr int kNodes = 16;
+  constexpr int kDim = 2;
+  constexpr std::uint16_t kPort = 53210;
+
+  InprocDeploymentConfig reference_config;
+  reference_config.nodes = kNodes;
+  reference_config.dimension = kDim;
+  reference_config.protocol.epochs = 1;
+  InprocDeployment reference(reference_config);
+  ASSERT_TRUE(reference.run().all_live_finished);
+
+  std::vector<int> exit_codes(kNodes, -1);
+  std::vector<std::int64_t> epochs_done(kNodes, 0);
+  std::vector<std::vector<std::vector<sim::NodeId>>> tables(kNodes);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kNodes);
+    for (int id = 0; id < kNodes; ++id) {
+      threads.emplace_back([id, &exit_codes, &epochs_done, &tables] {
+        LiveConfig config;
+        config.self = static_cast<sim::NodeId>(id);
+        config.nodes = kNodes;
+        config.dimension = kDim;
+        config.base_port = kPort;
+        config.protocol.epochs = 1;
+        config.pacer.round_budget_us = 30'000;
+        config.linger_us = 300'000;
+        MonotonicClock clock;
+        LiveNodeRuntime node(config, &clock);
+        exit_codes[static_cast<std::size_t>(id)] = node.run();
+        epochs_done[static_cast<std::size_t>(id)] =
+            node.protocol().metrics().epochs_completed;
+        const dos::GroupTable& table = node.protocol().table();
+        for (std::uint64_t x = 0; x < table.supernodes(); ++x) {
+          tables[static_cast<std::size_t>(id)].push_back(table.group(x));
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  const dos::GroupTable& expected = reference.node(0).table();
+  for (int id = 0; id < kNodes; ++id) {
+    EXPECT_EQ(exit_codes[static_cast<std::size_t>(id)],
+              LiveNodeRuntime::kFinished)
+        << "node " << id;
+    EXPECT_EQ(epochs_done[static_cast<std::size_t>(id)], 1) << "node " << id;
+    ASSERT_EQ(tables[static_cast<std::size_t>(id)].size(),
+              expected.supernodes())
+        << "node " << id;
+    for (std::uint64_t x = 0; x < expected.supernodes(); ++x) {
+      EXPECT_EQ(tables[static_cast<std::size_t>(id)][x], expected.group(x))
+          << "node " << id << " group " << x;
+    }
+  }
+}
+
+TEST(UdpTransport, DatagramHandlerRejectsGarbageAndCountsLateFrames) {
+  UdpConfig config;
+  config.self = 0;
+  config.nodes = 4;
+  UdpTransport transport(config);  // never opened: socket-free paths only
+
+  EXPECT_FALSE(transport.on_datagram(std::vector<std::uint8_t>{1, 2, 3}, 0));
+  EXPECT_EQ(transport.counters().decode_failures, 1u);
+
+  // A well-formed unreliable datagram from peer 2 carrying a heartbeat.
+  Message beat;
+  beat.kind = MsgKind::kHeartbeat;
+  beat.round = 6;
+  std::vector<std::uint8_t> payload;
+  encode(beat, payload);
+  std::vector<std::uint8_t> datagram(kLinkHeaderBytes + payload.size());
+  LinkHeader header;
+  header.op = LinkOp::kUnreliable;
+  header.from = 2;
+  encode_link_header(header, datagram.data());
+  std::copy(payload.begin(), payload.end(),
+            datagram.begin() + kLinkHeaderBytes);
+
+  EXPECT_TRUE(transport.on_datagram(datagram, 0));
+  EXPECT_EQ(transport.counters().heartbeats_received, 1u);
+  EXPECT_EQ(transport.round_heard(2), 6);
+
+  // A protocol frame whose delivery round has already passed is dropped.
+  Message stale;
+  stale.kind = MsgKind::kCommitVote;
+  stale.round = 1;
+  encode(stale, payload);
+  datagram.assign(kLinkHeaderBytes + payload.size(), 0);
+  header.op = LinkOp::kReliable;
+  header.seq = 1;
+  encode_link_header(header, datagram.data());
+  std::copy(payload.begin(), payload.end(),
+            datagram.begin() + kLinkHeaderBytes);
+  transport.advance_round(10);
+  EXPECT_TRUE(transport.on_datagram(datagram, 0));
+  EXPECT_EQ(transport.counters().late_frames, 1u);
+  std::vector<sim::Envelope<Message>> inbox;
+  transport.poll(inbox);
+  EXPECT_TRUE(inbox.empty());
+}
+
+}  // namespace
+}  // namespace reconfnet::transport

@@ -1,0 +1,217 @@
+#!/usr/bin/env bash
+# deploy_local.sh — launch a live reconfnet deployment on loopback UDP and
+# gate it against the in-process reference (DESIGN.md §15, experiment V2).
+#
+#   tools/deploy_local.sh [--nodes 64] [--epochs 3] [--dim 3] [--plan none]
+#                         [--round-us 250000] [--base-port 47100]
+#                         [--bin PATH] [--out-dir DIR] [--timeout 300]
+#                         [--baseline PATH] [--tolerance 0.15] [--no-gate]
+#
+# One reconfnet_node process per node id, no coordinator: every process
+# derives the same initial table from (--dim, --nodes, table seed) and the
+# same fault schedule from (--plan, fault salt). Scripted crash-stops are
+# real process deaths (exit code 2); a watchdog SIGKILLs anything still
+# alive after --timeout seconds, so a wedged deployment fails loudly instead
+# of hanging CI. Per-node JSON metrics are harvested into a bench-v1 file
+# with the exact (group, metric) labels bench_transport emits, then
+# benchdiff gates the live numbers against the committed baseline.
+#
+# Exit codes: 0 converged (and benchdiff passed, unless --no-gate),
+#             1 a node misbehaved / metrics missing / benchdiff regression,
+#             2 usage or environment error.
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+NODES=64
+EPOCHS=3
+DIM=3
+PLAN="none"
+ROUND_US=250000
+BASE_PORT=47100
+BIN=""
+OUT_DIR=""
+TIMEOUT_S=300
+BASELINE="$REPO_ROOT/bench/baselines/BENCH_V2_transport.json"
+TOLERANCE=0.15
+GATE=1
+
+usage() { sed -n '2,20p' "$0"; exit 2; }
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --nodes) NODES="$2"; shift 2 ;;
+    --epochs) EPOCHS="$2"; shift 2 ;;
+    --dim) DIM="$2"; shift 2 ;;
+    --plan) PLAN="$2"; shift 2 ;;
+    --round-us) ROUND_US="$2"; shift 2 ;;
+    --base-port) BASE_PORT="$2"; shift 2 ;;
+    --bin) BIN="$2"; shift 2 ;;
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    --timeout) TIMEOUT_S="$2"; shift 2 ;;
+    --baseline) BASELINE="$2"; shift 2 ;;
+    --tolerance) TOLERANCE="$2"; shift 2 ;;
+    --no-gate) GATE=0; shift ;;
+    -h|--help) usage ;;
+    *) echo "deploy_local.sh: unknown flag $1" >&2; usage ;;
+  esac
+done
+
+if [ -z "$BIN" ]; then
+  for candidate in "$REPO_ROOT/build/tools/reconfnet_node" \
+                   "$REPO_ROOT/build/reconfnet_node"; do
+    [ -x "$candidate" ] && BIN="$candidate" && break
+  done
+fi
+if [ -z "$BIN" ] || [ ! -x "$BIN" ]; then
+  echo "deploy_local.sh: reconfnet_node binary not found (build first," \
+       "or pass --bin)" >&2
+  exit 2
+fi
+command -v python3 >/dev/null || { echo "deploy_local.sh: python3 required" >&2; exit 2; }
+
+if [ -z "$OUT_DIR" ]; then
+  OUT_DIR="$(mktemp -d /tmp/reconfnet-deploy.XXXXXX)"
+fi
+mkdir -p "$OUT_DIR"
+
+echo "deploy_local: $NODES nodes, $EPOCHS epochs, plan=$PLAN," \
+     "round budget ${ROUND_US}us, metrics in $OUT_DIR"
+
+# --- launch ---------------------------------------------------------------
+PIDS=()
+for id in $(seq 0 $((NODES - 1))); do
+  "$BIN" --self "$id" --nodes "$NODES" --dim "$DIM" --epochs "$EPOCHS" \
+         --plan "$PLAN" --base-port "$BASE_PORT" --round-us "$ROUND_US" \
+         --smoke --metrics-out "$OUT_DIR/node$id.json" \
+         >"$OUT_DIR/node$id.log" 2>&1 &
+  PIDS+=($!)
+done
+
+# --- watchdog: SIGKILL backstop so a wedged node cannot hang the run ------
+DEADLINE=$(( $(date +%s) + TIMEOUT_S ))
+KILLED=0
+while :; do
+  alive=0
+  for pid in "${PIDS[@]}"; do
+    kill -0 "$pid" 2>/dev/null && alive=$((alive + 1))
+  done
+  [ "$alive" -eq 0 ] && break
+  if [ "$(date +%s)" -ge "$DEADLINE" ]; then
+    echo "deploy_local: TIMEOUT after ${TIMEOUT_S}s, SIGKILLing $alive" \
+         "remaining process(es)" >&2
+    for pid in "${PIDS[@]}"; do
+      kill -9 "$pid" 2>/dev/null && KILLED=$((KILLED + 1))
+    done
+    break
+  fi
+  sleep 1
+done
+
+EXITS=()
+for pid in "${PIDS[@]}"; do
+  wait "$pid"
+  EXITS+=($?)
+done
+
+# --- harvest + gate -------------------------------------------------------
+LIVE_JSON="$OUT_DIR/live_bench.json"
+python3 - "$OUT_DIR" "$NODES" "$DIM" "$EPOCHS" "$PLAN" "$KILLED" \
+    "$LIVE_JSON" "${EXITS[@]}" <<'PYEOF'
+import json, os, sys
+
+out_dir, nodes, dim, epochs, plan, killed, live_json = sys.argv[1:8]
+nodes, dim, epochs, killed = int(nodes), int(dim), int(epochs), int(killed)
+exits = [int(x) for x in sys.argv[8:]]
+canonical = "+".join(sorted(p for p in plan.split(",") if p and p != "none"))
+canonical = canonical or "none"
+
+bad = []
+if killed:
+    bad.append(f"{killed} process(es) needed the SIGKILL backstop")
+
+per_node = []
+for i in range(nodes):
+    path = os.path.join(out_dir, f"node{i}.json")
+    if not os.path.exists(path):
+        bad.append(f"node {i}: no metrics file (exit {exits[i]})")
+        continue
+    with open(path) as fh:
+        per_node.append(json.load(fh))
+
+crashed = [d for d in per_node if d["exit_code"] == 2]
+live = [d for d in per_node if d["exit_code"] != 2]
+for d in live:
+    n = d["node"]
+    if d["exit_code"] != 0:
+        bad.append(f"node {n}: exit code {d['exit_code']}")
+    if not d["finished"]:
+        bad.append(f"node {n}: protocol did not finish")
+    if d["protocol"]["epochs_completed"] != epochs:
+        bad.append(f"node {n}: completed "
+                   f"{d['protocol']['epochs_completed']}/{epochs} epochs")
+    if not d["protocol"]["lookup_ok"]:
+        bad.append(f"node {n}: DHT smoke lookup failed")
+
+def mean(vals):
+    vals = list(vals)
+    return sum(vals) / len(vals) if vals else 0.0
+
+ok = 0.0 if bad else 1.0
+rounds = max((d["protocol"]["rounds_total"] for d in live), default=0)
+series = {
+    "ok": ok,
+    "rounds": float(rounds),
+    "epochs_completed_mean":
+        mean(d["protocol"]["epochs_completed"] for d in live),
+    "fallbacks_mean": mean(d["protocol"]["fallbacks"] for d in live),
+    "bits_per_node_per_epoch":
+        mean(d["protocol"]["bits_sent"] / epochs for d in live),
+    "lookup_success_rate":
+        mean(1.0 if d["protocol"]["lookup_ok"] else 0.0 for d in live),
+    "finished_frac": mean(1.0 if d["finished"] else 0.0 for d in live),
+}
+group = f"n={nodes} d={dim} plan={canonical}"
+doc = {
+    "schema": "reconfnet-bench-v1",
+    "experiment": "V2_transport_live",
+    "title": "live UDP deployment harvested by tools/deploy_local.sh",
+    "metrics": [
+        {"group": group, "name": name, "values": [value]}
+        for name, value in series.items()
+    ],
+}
+with open(live_json, "w") as fh:
+    json.dump(doc, fh, indent=1)
+    fh.write("\n")
+
+print(f"deploy_local: {len(live)} live, {len(crashed)} crashed per plan, "
+      f"rounds={rounds}, epochs={series['epochs_completed_mean']:.2f}, "
+      f"fallbacks={series['fallbacks_mean']:.2f}, "
+      f"kbits/node/epoch={series['bits_per_node_per_epoch'] / 1000.0:.1f}, "
+      f"lookups={series['lookup_success_rate']:.2f}")
+for line in bad[:20]:
+    print(f"deploy_local: FAIL {line}")
+if len(bad) > 20:
+    print(f"deploy_local: ... and {len(bad) - 20} more failures")
+sys.exit(1 if bad else 0)
+PYEOF
+HARVEST=$?
+
+if [ "$HARVEST" -ne 0 ]; then
+  echo "deploy_local: deployment FAILED (details above, logs in $OUT_DIR)" >&2
+  exit 1
+fi
+
+if [ "$GATE" -eq 1 ]; then
+  echo "deploy_local: benchdiff vs $(basename "$BASELINE")" \
+       "(tolerance $TOLERANCE)"
+  python3 "$REPO_ROOT/tools/benchdiff.py" "$BASELINE" "$LIVE_JSON" \
+      --tolerance "$TOLERANCE" --fail-on-regression || {
+    echo "deploy_local: live metrics regressed vs the in-process" \
+         "reference" >&2
+    exit 1
+  }
+fi
+
+echo "deploy_local: OK"
+exit 0

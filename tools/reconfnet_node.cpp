@@ -1,0 +1,79 @@
+// reconfnet_node — one live node of the Section 5 protocol (DESIGN.md §15).
+//
+//   reconfnet_node --self <id> [--nodes 64] [--dim 3] [--seed 1]
+//                  [--table-seed 1] [--epochs 3] [--max-attempts 3]
+//                  [--base-port 47000] [--round-us 50000] [--plan none]
+//                  [--fault-salt 29281] [--incarnation 0] [--smoke]
+//                  [--linger-us 500000] [--max-rounds 0]
+//                  [--metrics-out <path>]
+//
+// tools/deploy_local.sh launches N of these against loopback UDP; every
+// process derives the same initial configuration from (--dim, --nodes,
+// --table-seed) and the same fault schedule from (--plan, --fault-salt), so
+// no coordinator exists. Exit codes: 0 finished, 1 round cap hit (degraded,
+// not wedged), 2 scripted crash-stop, 3 bind failure, 4 bad usage. Metrics
+// land as one JSON object per node for the harvester.
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "support/args.hpp"
+#include "transport/clock.hpp"
+#include "transport/live_runtime.hpp"
+
+namespace {
+
+using namespace reconfnet;
+
+int run(int argc, char** argv) {
+  const support::Args args(argc, argv, 1, /*switches=*/{"smoke"});
+
+  transport::LiveConfig config;
+  config.self = args.get_u64("self", 0);
+  config.nodes = args.get_int("nodes", 64);
+  config.dimension = args.get_int("dim", 3);
+  config.table_seed = args.get_u64("table-seed", 1);
+  config.protocol.seed = args.get_u64("seed", 1);
+  config.protocol.epochs = args.get_int("epochs", 3);
+  config.protocol.max_attempts = args.get_int("max-attempts", 3);
+  config.protocol.dht_smoke = args.has("smoke");
+  config.base_port =
+      static_cast<std::uint16_t>(args.get_int("base-port", 47000));
+  config.incarnation =
+      static_cast<std::uint32_t>(args.get_u64("incarnation", 0));
+  config.plan_spec = args.get_string("plan", "none");
+  config.fault_salt = args.get_u64("fault-salt", 0x7261);
+  config.pacer.round_budget_us = args.get_int("round-us", 50'000);
+  config.max_rounds = args.get_int("max-rounds", 0);
+  config.linger_us = args.get_int("linger-us", 500'000);
+
+  if (config.nodes <= 0 ||
+      config.self >= static_cast<sim::NodeId>(config.nodes)) {
+    std::cerr << "reconfnet_node: --self must be in [0, --nodes)\n";
+    return 4;
+  }
+
+  transport::MonotonicClock clock;
+  transport::LiveNodeRuntime node(config, &clock);
+  const int code = node.run();
+
+  const std::string metrics_path = args.get_string("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    node.metrics_json(code).dump(out, 2);
+    out << '\n';
+  }
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "reconfnet_node: " << error.what() << '\n';
+    return 4;
+  }
+}
